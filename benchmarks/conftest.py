@@ -1,0 +1,48 @@
+"""Benchmark harness fixtures.
+
+Builds one paper-scale world per benchmark session (larger than the test
+world so that every per-country tier of the case study crosses the
+paper's 30-user reporting threshold) and provides a tiny report printer
+so each benchmark shows its paper-vs-measured rows inline.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import World, WorldConfig, build_world
+
+PAPER_WORLD_CONFIG = WorldConfig(
+    seed=20141105,
+    n_dasu_users=12_000,
+    n_fcc_users=2_000,
+    days_per_year=2.0,
+)
+
+
+@pytest.fixture(scope="session")
+def paper_world() -> World:
+    """The world every reproduction benchmark runs against."""
+    return build_world(PAPER_WORLD_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def dasu_users(paper_world: World):
+    return paper_world.dasu.users
+
+
+@pytest.fixture(scope="session")
+def fcc_users(paper_world: World):
+    return paper_world.fcc.users
+
+
+def emit(title: str, lines) -> None:
+    """Print a benchmark's paper-vs-measured block."""
+    print()
+    print(f"=== {title} ===")
+    for line in lines:
+        print(line)

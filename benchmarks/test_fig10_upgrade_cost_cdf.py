@@ -1,0 +1,53 @@
+"""Figure 10 — CDF of the monthly cost of +1 Mbps across markets (Sec. 6).
+
+Paper: Hong Kong/Japan/South Korea sit below $0.10; Canada/US slightly
+above $0.50; Ghana/Uganda high in the distribution; developed countries
+mostly under $1 while some developing markets exceed $100. Also: price
+and capacity are strongly correlated (r > 0.8) in ~66% of markets and at
+least moderately (r > 0.4) in ~81%.
+"""
+
+from repro.analysis.upgrade_cost import correlation_summary, figure10
+
+from conftest import emit
+
+
+def test_fig10_upgrade_cost_cdf(benchmark, paper_world):
+    result = benchmark.pedantic(
+        figure10, args=(paper_world.survey,), rounds=3, iterations=1
+    )
+    strong, moderate = correlation_summary(paper_world.survey)
+
+    anchors = ("Hong Kong", "Japan", "South Korea", "Canada", "US",
+               "Ghana", "Uganda")
+    lines = [
+        f"  qualifying markets (r > 0.4): {result.n_countries}",
+        f"  strong-correlation share: paper 0.66, measured {strong:.2f}",
+        f"  moderate-correlation share: paper 0.81, measured {moderate:.2f}",
+    ]
+    for country in anchors:
+        cost = result.cost_for(country)
+        quantile = result.quantile_of(country)
+        if cost is not None:
+            lines.append(
+                f"  {country:<12} ${cost:>8.2f}/Mbps  "
+                f"(at quantile {quantile:.2f})"
+            )
+    emit("Figure 10: cost of increasing capacity by 1 Mbps", lines)
+
+    # Anchor ordering along the CDF.
+    for cheap in ("Japan", "South Korea", "Hong Kong"):
+        cost = result.cost_for(cheap)
+        assert cost is not None and cost < 0.5
+    us = result.cost_for("US")
+    assert us is not None and 0.3 < us < 1.2
+    for pricey in ("Ghana", "Uganda"):
+        cost = result.cost_for(pricey)
+        assert cost is not None and cost > 5.0
+    # Distribution end points.
+    costs = sorted(result.costs_by_country.values())
+    assert costs[0] < 1.0
+    assert costs[-1] > 20.0
+    # Correlation shares near the paper's.
+    assert 0.4 <= strong <= 0.95
+    assert 0.6 <= moderate <= 1.0

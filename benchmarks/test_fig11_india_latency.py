@@ -1,0 +1,37 @@
+"""Figure 11 — India's latency and its demand consequence (Sec. 7.1).
+
+Paper: Indian users see far higher latencies than the rest of the
+population, to NDT servers and to the five popular web sites alike
+(nearly every Indian user above 100 ms); despite India's much higher
+access price, capacity-matched Indian users impose *lower* demand than US
+users 62% of the time — quality overrides price.
+"""
+
+from repro.analysis.quality import figure11
+
+from conftest import emit
+
+
+def test_fig11_india_latency(benchmark, dasu_users):
+    result = benchmark.pedantic(
+        figure11, args=(dasu_users,), rounds=2, iterations=1
+    )
+
+    emit(
+        "Figure 11: India vs rest latency",
+        [
+            f"  median NDT latency   India {result.india_median_ndt_ms:.0f} ms"
+            f" vs rest {result.other_median_ndt_ms:.0f} ms",
+            f"  Indian users above 100 ms: paper ~100%, measured "
+            f"{100 * result.share_india_above_100ms:.0f}%",
+            f"  India lower demand than matched US: paper 62%, measured "
+            f"{100 * result.india_lower_demand_share:.0f}% "
+            f"(n={result.india_vs_us.result.n_pairs})",
+        ],
+    )
+
+    assert result.india_median_ndt_ms > 1.5 * result.other_median_ndt_ms
+    assert result.share_india_above_100ms > 0.75
+    assert result.india_web_cdf is not None  # the 2014 validation ran
+    if result.india_vs_us.result.n_pairs >= 20:
+        assert result.india_lower_demand_share > 0.5

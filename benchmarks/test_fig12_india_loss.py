@@ -1,0 +1,27 @@
+"""Figure 12 — India's packet loss vs. the rest of the population.
+
+Paper: Indian users see much higher average packet-loss rates than the
+general population, the second half (with latency, Fig. 11) of the
+quality explanation for India's depressed demand.
+"""
+
+from repro.analysis.quality import figure12
+
+from conftest import emit
+
+
+def test_fig12_india_loss(benchmark, dasu_users):
+    result = benchmark.pedantic(
+        figure12, args=(dasu_users,), rounds=3, iterations=1
+    )
+
+    emit(
+        "Figure 12: India vs rest packet loss",
+        [
+            f"  median loss   India {result.india_median_loss_pct:.3f}%"
+            f" vs rest {result.other_median_loss_pct:.3f}%",
+        ],
+    )
+
+    assert result.india_median_loss_pct > 3 * result.other_median_loss_pct
+    assert result.india_median_loss_pct > 0.1  # above the QoE knee

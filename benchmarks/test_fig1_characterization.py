@@ -1,0 +1,35 @@
+"""Figure 1 — CDFs of capacity, latency and packet loss (Sec. 2.2).
+
+Paper: median download capacity 7.4 Mbps (IQR 3.1-17.4), ~10% of users
+below 1 Mbps; median RTT ~100 ms with the top 5% above 500 ms; loss below
+0.1% for most users, above 1% for ~14%, above 10% for the top 1%.
+"""
+
+from repro.analysis.characterization import figure1
+
+from conftest import emit
+
+
+def test_fig1_connection_characterization(benchmark, dasu_users):
+    result = benchmark.pedantic(
+        figure1, args=(dasu_users,), rounds=3, iterations=1
+    )
+
+    emit(
+        f"Figure 1: connection characterization (n={result.n_users})",
+        (
+            f"  {label:<38} paper {paper:>8.3f}   measured {measured:>8.3f}"
+            for label, paper, measured in result.summary_rows()
+        ),
+    )
+
+    # Shape assertions: the distributions must have the paper's gross
+    # geometry even though absolute values come from a simulator.
+    assert 2.0 <= result.median_capacity_mbps <= 20.0
+    assert 0.03 <= result.share_below_1mbps <= 0.30
+    assert 40.0 <= result.median_latency_ms <= 200.0
+    assert 0.01 <= result.share_latency_above_500ms <= 0.12
+    assert 0.05 <= result.share_loss_above_1pct <= 0.30
+    assert result.share_loss_above_10pct <= 0.05
+    # Orderings internal to each CDF.
+    assert result.share_loss_below_0_1pct > result.share_loss_above_1pct

@@ -1,0 +1,38 @@
+"""Figure 2 — usage vs. capacity, mean/peak, with/without BitTorrent.
+
+Paper: usage grows with capacity in every panel (r >= 0.87 between class
+capacity and class demand) while utilization declines — a law of
+diminishing returns, with the relative increase in demand larger at low
+capacities.
+"""
+
+from repro.analysis.capacity import figure2
+from repro.analysis.report import format_curve
+
+from conftest import emit
+
+
+def test_fig2_usage_vs_capacity(benchmark, dasu_users):
+    result = benchmark.pedantic(
+        figure2, args=(dasu_users,), rounds=3, iterations=1
+    )
+
+    lines = []
+    for title, curve in result.panels():
+        lines.append(format_curve(title, curve))
+    lines.append(
+        f"  minimum panel correlation: paper >= 0.870, "
+        f"measured {result.min_correlation:.3f}"
+    )
+    emit("Figure 2: usage vs capacity", lines)
+
+    # Strong correlation in every panel.
+    assert result.min_correlation > 0.80
+    # Demand rises across the capacity range...
+    points = result.peak_no_bt.points
+    assert points[-1].average > 3 * points[0].average
+    # ...but utilization falls (diminishing returns).
+    first_util = points[0].average / points[0].center_mbps
+    last_util = points[-1].average / points[-1].center_mbps
+    assert last_util < first_util
+    assert result.diminishing_returns()

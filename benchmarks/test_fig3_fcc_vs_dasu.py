@@ -1,0 +1,38 @@
+"""Figure 3 — FCC gateway users vs. US Dasu users.
+
+Paper: peak (95th-percentile) demand is nearly identical across the two
+collection channels; Dasu's average demand is slightly higher because its
+collection is biased toward peak hours.
+"""
+
+from repro.analysis.capacity import figure3
+from repro.analysis.report import format_curve
+
+from conftest import emit
+
+
+def test_fig3_fcc_vs_dasu(benchmark, dasu_users, fcc_users):
+    result = benchmark.pedantic(
+        figure3, args=(dasu_users, fcc_users), rounds=3, iterations=1
+    )
+
+    emit(
+        "Figure 3: FCC vs Dasu (US, no BitTorrent for Dasu)",
+        [
+            format_curve("FCC mean", result.fcc_mean),
+            format_curve("Dasu US mean", result.dasu_us_mean),
+            format_curve("FCC peak", result.fcc_peak),
+            format_curve("Dasu US peak", result.dasu_us_peak),
+            f"  Dasu/FCC mean ratio: paper slightly > 1, "
+            f"measured {result.mean_ratio_dasu_over_fcc:.2f}",
+            f"  Dasu/FCC peak ratio: paper ~= 1, "
+            f"measured {result.peak_ratio_dasu_over_fcc:.2f}",
+        ],
+    )
+
+    # Peak nearly identical; mean offset small and positive.
+    assert 0.6 <= result.peak_ratio_dasu_over_fcc <= 1.7
+    assert result.mean_ratio_dasu_over_fcc > 0.95
+    # Both channels show the capacity-demand correlation.
+    assert result.fcc_peak.correlation > 0.8
+    assert result.dasu_us_peak.correlation > 0.8

@@ -1,0 +1,43 @@
+"""Figure 7 — capacity and peak-utilization CDFs across the four markets.
+
+Paper: the case-study countries ordered by download capacity (Botswana,
+Saudi Arabia, US, Japan) appear in exactly reverse order when ordered by
+95th-percentile link utilization.
+"""
+
+from repro.analysis.price import figure7
+
+from conftest import emit
+
+
+def test_fig7_country_cdfs(benchmark, dasu_users):
+    result = benchmark.pedantic(
+        figure7, args=(dasu_users,), rounds=3, iterations=1
+    )
+
+    lines = []
+    for entry in result.countries:
+        lines.append(
+            f"  {entry.country:<13} n={entry.n_users:<5} "
+            f"median capacity {entry.median_capacity_mbps:>7.2f} Mbps   "
+            f"mean peak utilization {100 * entry.mean_peak_utilization:>5.1f}%"
+        )
+    lines.append(
+        "  utilization order reverses capacity order: "
+        f"paper True, measured "
+        f"{result.utilization_order_reverses_capacity_order()}"
+    )
+    emit("Figure 7: case-study capacity and utilization", lines)
+
+    bw = result.country("Botswana")
+    sa = result.country("Saudi Arabia")
+    us = result.country("US")
+    jp = result.country("Japan")
+
+    # Capacity ordering as in Fig. 7a.
+    assert bw.median_capacity_mbps < sa.median_capacity_mbps
+    assert sa.median_capacity_mbps < us.median_capacity_mbps
+    # Utilization extremes as in Fig. 7b: Botswana hottest, Japan coldest.
+    assert bw.mean_peak_utilization > us.mean_peak_utilization
+    assert bw.mean_peak_utilization > 2 * jp.mean_peak_utilization
+    assert jp.mean_peak_utilization < 0.35

@@ -1,0 +1,55 @@
+"""Figure 8 — peak-utilization CDFs per country and speed tier (Sec. 5).
+
+Paper: within the US, faster tiers run at lower peak utilization; at the
+same tier, Botswana (avg ~80%) runs far hotter than the US (~52% overall
+average), Saudi Arabia's 1-8 Mbps tier runs hotter than the US's
+(median 60% vs 43%), and Japan's links are nearly idle (avg ~10%).
+"""
+
+from repro.analysis.price import figure8
+
+from conftest import emit
+
+
+def test_fig8_tier_utilization(benchmark, dasu_users):
+    result = benchmark.pedantic(
+        figure8,
+        args=(dasu_users,),
+        kwargs={"min_users": 20},
+        rounds=2,
+        iterations=1,
+    )
+
+    lines = []
+    for group in result.groups:
+        lines.append(
+            f"  {group.country:<13} {group.tier.label():<18} "
+            f"n={group.n_users:<5} mean util "
+            f"{100 * group.mean_peak_utilization:>5.1f}%  median "
+            f"{100 * group.median_peak_utilization:>5.1f}%"
+        )
+    emit("Figure 8: peak utilization by country and tier", lines)
+
+    def util(country, tier_low):
+        group = result.group_for(country, tier_low)
+        return None if group is None else group.mean_peak_utilization
+
+    # US tiers: utilization declines from the 1-8 tier to the >32 tier.
+    us_mid = util("US", 1.0)
+    us_top = util("US", 32.0)
+    assert us_mid is not None and us_top is not None
+    assert us_mid > us_top
+
+    # Botswana's <1 Mbps tier runs hotter than any US tier.
+    bw = util("Botswana", 0.0)
+    assert bw is not None and bw > us_mid and bw > 0.45
+
+    # Saudi Arabia's 1-8 tier hotter than the US's 1-8 tier.
+    sa = util("Saudi Arabia", 1.0)
+    if sa is not None:
+        assert sa > us_mid
+
+    # Japan's top tier nearly idle.
+    jp = util("Japan", 32.0)
+    if jp is not None:
+        assert jp < 0.3

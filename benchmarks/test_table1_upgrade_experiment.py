@@ -1,0 +1,31 @@
+"""Table 1 — the user-upgrade natural experiment (Sec. 3.2).
+
+Paper: when the same user moves from a slower to a faster network, their
+average demand rises 66.8% of the time and their peak demand 70.3% of the
+time, both with vanishing p-values — capacity causally drives demand.
+"""
+
+from repro.analysis.capacity import table1
+from repro.analysis.report import format_experiment_row
+
+from conftest import emit
+
+
+def test_table1_upgrade_experiment(benchmark, dasu_users):
+    result = benchmark.pedantic(
+        table1, args=(dasu_users,), rounds=3, iterations=1
+    )
+
+    emit(
+        f"Table 1: user upgrades (n={result.n_observations} slow/fast pairs)",
+        (
+            format_experiment_row(label, paper, experiment)
+            for label, paper, experiment in result.rows()
+        ),
+    )
+
+    # Both metrics: H holds well above chance and clears the paper's
+    # practical-importance margin; the peak effect is decisive.
+    assert result.average.fraction_holds > 0.52
+    assert result.peak.fraction_holds > 0.55
+    assert result.peak.rejects_null

@@ -1,0 +1,56 @@
+"""Table 5 — regional shares of countries with expensive upgrades.
+
+Paper (share of countries where +1 Mbps costs more than $1 / $5 / $10):
+
+    Africa                     100%  84%  74%
+    Asia (all)                  67%  47%  33%
+    Asia (developed)             0%   0%   0%
+    Asia (developing)           83%  58%  42%
+    Central America/Caribbean  100%  86%  14%
+    Europe                      10%   0%   0%
+    Middle East                 86%  57%  43%
+    North America                0%   0%   0%
+    South America               78%  55%  33%
+"""
+
+from repro.analysis.upgrade_cost import Table5Result, table5
+
+from conftest import emit
+
+
+def test_table5_regional_upgrade_cost(benchmark, paper_world):
+    result = benchmark.pedantic(
+        table5, args=(paper_world.survey,), rounds=3, iterations=1
+    )
+
+    lines = []
+    for row in result.rows:
+        paper = Table5Result.PAPER_VALUES[row.region]
+        lines.append(
+            f"  {row.region:<27} (n={row.n_countries:>2})  "
+            f">$1: {100 * paper[0]:>3.0f}%/{100 * row.share_above_1:<5.0f} "
+            f">$5: {100 * paper[1]:>3.0f}%/{100 * row.share_above_5:<5.0f} "
+            f">$10: {100 * paper[2]:>3.0f}%/{100 * row.share_above_10:<5.0f}"
+        )
+    emit("Table 5: regional cost of +1 Mbps (paper/measured %)", lines)
+
+    rows = {r.region: r for r in result.rows}
+
+    africa = rows["Africa"]
+    assert africa.share_above_1 > 0.9
+    assert africa.share_above_10 > 0.4
+
+    for cheap in ("North America", "Asia (developed)"):
+        row = rows[cheap]
+        if row.n_countries:
+            assert row.share_above_5 == 0.0
+
+    europe = rows["Europe"]
+    assert europe.share_above_1 < 0.5
+    assert europe.share_above_10 < 0.2
+
+    developing_asia = rows["Asia (developing)"]
+    assert developing_asia.share_above_1 > 0.5
+
+    middle_east = rows["Middle East"]
+    assert middle_east.share_above_1 > 0.5

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Affordability analytics for policy audiences (Sec. 6 of the paper).
+
+Computes the global cost-of-upgrade distribution (Fig. 10), the regional
+affordability table (Table 5), and then runs a what-if: if a country's
+upgrade slope were subsidized to US levels, how would subscriber tier
+choice change? The counterfactual reuses the exact plan-choice model the
+world was generated with.
+
+Run:  python examples/policy_affordability.py
+"""
+
+import numpy as np
+
+from repro import WorldConfig, build_world
+from repro.analysis import upgrade_cost
+from repro.behavior.choice import ChoiceModel
+from repro.behavior.population import PopulationModel
+from repro.market.countries import ANCHOR_PROFILES
+from repro.market.survey import generate_market
+
+
+def global_affordability(world) -> None:
+    fig10 = upgrade_cost.figure10(world.survey)
+    costs = np.array(sorted(fig10.costs_by_country.values()))
+    print("Cost of +1 Mbps across markets (USD PPP per month):")
+    for q in (10, 25, 50, 75, 90):
+        print(f"  p{q:<3} ${np.percentile(costs, q):8.2f}")
+    for country in ("Japan", "US", "Ghana"):
+        cost = fig10.cost_for(country)
+        if cost is not None:
+            print(f"  {country:<6} ${cost:8.2f} "
+                  f"(quantile {fig10.quantile_of(country):.2f})")
+
+    print("\nTable 5 — share of countries where +1 Mbps costs more than:")
+    t5 = upgrade_cost.table5(world.survey)
+    print(f"  {'region':<28}{'n':>3}{'>$1':>7}{'>$5':>7}{'>$10':>7}")
+    for row in t5.rows:
+        if row.n_countries == 0:
+            continue
+        print(
+            f"  {row.region:<28}{row.n_countries:>3}"
+            f"{100 * row.share_above_1:>6.0f}%"
+            f"{100 * row.share_above_5:>6.0f}%"
+            f"{100 * row.share_above_10:>6.0f}%"
+        )
+
+
+def subsidy_counterfactual() -> None:
+    """What if Ghana's upgrade slope were subsidized to the US level?"""
+    from dataclasses import replace
+
+    ghana = next(p for p in ANCHOR_PROFILES if p.name == "Ghana")
+    us = next(p for p in ANCHOR_PROFILES if p.name == "US")
+    subsidized = replace(
+        ghana,
+        upgrade_slope_usd=us.upgrade_slope_usd,
+        base_price_usd=min(ghana.base_price_usd, 35.0),
+        max_capacity_mbps=20.0,
+        n_plans=10,
+    )
+
+    model = PopulationModel()
+    choice = ChoiceModel()
+    print("\nCounterfactual: Ghana with US-level upgrade costs")
+    for label, profile in (("today", ghana), ("subsidized", subsidized)):
+        rng = np.random.default_rng(99)
+        market = generate_market(profile, rng)
+        chosen = []
+        subscribed = 0
+        for i in range(3000):
+            user = model.sample_user(f"u{i}", profile.economy(), rng)
+            picked = choice.choose(user, market, rng)
+            if picked is not None:
+                subscribed += 1
+                chosen.append(picked.plan.download_mbps)
+        rate = subscribed / 3000
+        median = float(np.median(chosen)) if chosen else float("nan")
+        print(
+            f"  {label:<11} subscription rate {100 * rate:5.1f}%   "
+            f"median chosen capacity {median:6.2f} Mbps"
+        )
+    print(
+        "\nReading: cheaper upgrades move subscribers up the tier ladder"
+        "\nand pull new households online — the mechanism behind the"
+        "\npaper's policy recommendation of widening access to mid-tier"
+        "\n(~10 Mbps) services."
+    )
+
+
+def main() -> None:
+    config = WorldConfig(seed=23, n_dasu_users=400, n_fcc_users=0,
+                         days_per_year=1.0)
+    print("Building world...\n")
+    world = build_world(config)
+    global_affordability(world)
+    subsidy_counterfactual()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Usage caps and demand — an extension experiment.
+
+The paper cites Chetty et al. (SIGCHI'12, "You're capped") on how
+monthly traffic limits change household behavior but does not test the
+effect itself. The plan survey carries each plan's cap, so the natural-
+experiment machinery can: users on capped plans are compared with
+otherwise-similar users on uncapped plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..datasets.records import UserRecord
+from ..exceptions import AnalysisError
+from .common import MatchedExperimentResult, demand_outcome, matched_experiment
+
+__all__ = ["CapsResult", "caps_experiment"]
+
+#: Caps at or above this many GB/month almost never bind for 2011-2013
+#: demand levels; "tight" caps are the interesting treatment.
+TIGHT_CAP_GB = 100.0
+
+
+@dataclass(frozen=True)
+class CapsResult:
+    """The caps experiment plus group bookkeeping."""
+
+    experiment: MatchedExperimentResult
+    n_uncapped: int
+    n_tight_capped: int
+    n_loose_capped: int
+
+    @property
+    def capped_use_less(self) -> bool:
+        """Whether uncapped users out-demand matched tightly-capped users."""
+        return self.experiment.result.fraction_holds > 0.5
+
+
+def caps_experiment(
+    users: Sequence[UserRecord],
+    metric: str = "mean",
+    include_bt: bool = True,
+    tight_cap_gb: float = TIGHT_CAP_GB,
+    confounders: Sequence[str] = ("capacity", "latency", "loss", "price_of_access"),
+) -> CapsResult:
+    """Do tight monthly caps depress demand?
+
+    Control: users on plans with a cap below ``tight_cap_gb``.
+    Treatment: users on uncapped plans. H: removing the cap raises
+    demand — i.e. the Chetty et al. rationing effect, measured with the
+    paper's own machinery. Average demand including BitTorrent is the
+    natural outcome (bulk transfer is exactly what caps ration).
+    """
+    uncapped = [u for u in users if u.plan_data_cap_gb is None]
+    tight = [
+        u
+        for u in users
+        if u.plan_data_cap_gb is not None
+        and u.plan_data_cap_gb < tight_cap_gb
+    ]
+    loose = [
+        u
+        for u in users
+        if u.plan_data_cap_gb is not None
+        and u.plan_data_cap_gb >= tight_cap_gb
+    ]
+    if not uncapped or not tight:
+        raise AnalysisError("need both uncapped and tightly-capped users")
+    experiment = matched_experiment(
+        "tight cap (control) vs no cap (treatment)",
+        control=tight,
+        treatment=uncapped,
+        confounders=confounders,
+        outcome=demand_outcome(metric, include_bt),
+        hypothesis="removing a tight monthly cap increases demand",
+    )
+    return CapsResult(
+        experiment=experiment,
+        n_uncapped=len(uncapped),
+        n_tight_capped=len(tight),
+        n_loose_capped=len(loose),
+    )

@@ -1,0 +1,200 @@
+"""Shared analysis building blocks.
+
+Implements the two recurring constructs of the paper's evaluation:
+
+* the **binned demand curve** — users grouped by capacity class, per-bin
+  average demand with a 95% CI (the data behind Figs. 2, 3 and 6);
+* the **matched natural experiment** — nearest-neighbor matching of
+  control and treatment users on confounders, followed by the sign test
+  (the machinery behind Tables 2, 3, 6, 7 and 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.binning import Bin, BinSpec, capacity_class_spec
+from ..core.experiments import ExperimentResult, NaturalExperiment, PairedOutcome
+from ..core.matching import DEFAULT_CALIPER, MatchingSummary, match_pairs
+from ..core.stats import ConfidenceInterval, mean_confidence_interval, pearson_r
+from ..datasets.records import UserRecord
+from ..exceptions import AnalysisError
+
+__all__ = [
+    "BinnedCurve",
+    "BinnedCurvePoint",
+    "CONFOUNDER_EXTRACTORS",
+    "binned_demand_curve",
+    "curve_correlation",
+    "demand_outcome",
+    "matched_experiment",
+    "standard_confounders",
+]
+
+#: Floor applied to loss rates before ratio-based matching, so that two
+#: effectively loss-free lines are considered similar.
+_LOSS_MATCH_FLOOR = 1e-4
+#: Minimum users in a capacity bin for it to appear in a curve.
+_MIN_BIN_USERS = 5
+
+
+def demand_outcome(metric: str, include_bt: bool) -> Callable[[UserRecord], float]:
+    """Outcome extractor for a demand statistic of the current period."""
+    if metric not in ("mean", "peak"):
+        raise AnalysisError(f"unknown demand metric {metric!r}")
+
+    def outcome(user: UserRecord) -> float:
+        return user.demand(metric=metric, include_bt=include_bt)
+
+    return outcome
+
+
+CONFOUNDER_EXTRACTORS: dict[str, Callable[[UserRecord], float]] = {
+    "capacity": lambda u: u.capacity_down_mbps,
+    "latency": lambda u: u.latency_ms,
+    "loss": lambda u: max(u.loss_fraction, _LOSS_MATCH_FLOOR),
+    "price_of_access": lambda u: float(u.price_of_access_usd or math.nan),
+    "upgrade_cost": lambda u: float(u.upgrade_cost_usd_per_mbps or math.nan),
+}
+
+
+def standard_confounders(names: Sequence[str]) -> list[Callable[[UserRecord], float]]:
+    """Resolve confounder names to extractors, validating them."""
+    try:
+        return [CONFOUNDER_EXTRACTORS[name] for name in names]
+    except KeyError as exc:
+        raise AnalysisError(f"unknown confounder {exc.args[0]!r}") from None
+
+
+def _has_confounders(user: UserRecord, names: Sequence[str]) -> bool:
+    for name in names:
+        value = CONFOUNDER_EXTRACTORS[name](user)
+        if math.isnan(value):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class MatchedExperimentResult:
+    """An experiment result plus the matching diagnostics behind it."""
+
+    result: ExperimentResult
+    matching: MatchingSummary
+
+    @property
+    def n_pairs(self) -> int:
+        return self.result.n_pairs
+
+
+def matched_experiment(
+    name: str,
+    control: Sequence[UserRecord],
+    treatment: Sequence[UserRecord],
+    confounders: Sequence[str],
+    outcome: Callable[[UserRecord], float],
+    caliper: float = DEFAULT_CALIPER,
+    hypothesis: str = "treatment increases demand",
+) -> MatchedExperimentResult:
+    """Run one matched natural experiment between two user pools.
+
+    Users missing any confounder (e.g. no market upgrade-cost estimate)
+    are excluded before matching, as the paper excludes users it cannot
+    place in a market.
+    """
+    eligible_control = [u for u in control if _has_confounders(u, confounders)]
+    eligible_treatment = [u for u in treatment if _has_confounders(u, confounders)]
+    matching = match_pairs(
+        eligible_control,
+        eligible_treatment,
+        standard_confounders(confounders),
+        caliper=caliper,
+    )
+    experiment = NaturalExperiment(name=name, hypothesis=hypothesis)
+    result = experiment.evaluate(
+        PairedOutcome(outcome(pair.control), outcome(pair.treatment))
+        for pair in matching.pairs
+    )
+    return MatchedExperimentResult(result=result, matching=matching)
+
+
+@dataclass(frozen=True)
+class BinnedCurvePoint:
+    """One capacity class of a demand curve."""
+
+    bin: Bin
+    n_users: int
+    average: float
+    ci: ConfidenceInterval
+
+    @property
+    def center_mbps(self) -> float:
+        """Geometric center of the class, in Mbps."""
+        return math.sqrt(self.bin.low * self.bin.high)
+
+
+@dataclass(frozen=True)
+class BinnedCurve:
+    """A demand-vs-capacity curve (one panel of Figs. 2, 3 or 6)."""
+
+    metric: str
+    include_bt: bool
+    points: tuple[BinnedCurvePoint, ...]
+
+    @property
+    def correlation(self) -> float:
+        """log-log Pearson correlation of class capacity vs demand."""
+        return curve_correlation(self.points)
+
+    def point_for(self, capacity_mbps: float) -> BinnedCurvePoint | None:
+        for point in self.points:
+            if capacity_mbps in point.bin:
+                return point
+        return None
+
+
+def binned_demand_curve(
+    users: Sequence[UserRecord],
+    metric: str = "mean",
+    include_bt: bool = True,
+    spec: BinSpec | None = None,
+    min_users: int = _MIN_BIN_USERS,
+) -> BinnedCurve:
+    """Group users into capacity classes and average their demand."""
+    if spec is None:
+        spec = capacity_class_spec()
+    outcome = demand_outcome(metric, include_bt)
+    grouped = spec.group((u.capacity_down_mbps, u) for u in users)
+    points = []
+    for bin_ in spec:
+        members = grouped.get(bin_, [])
+        if len(members) < min_users:
+            continue
+        values = [outcome(u) for u in members]
+        points.append(
+            BinnedCurvePoint(
+                bin=bin_,
+                n_users=len(members),
+                average=float(np.mean(values)),
+                ci=mean_confidence_interval(values),
+            )
+        )
+    return BinnedCurve(metric=metric, include_bt=include_bt, points=tuple(points))
+
+
+def curve_correlation(points: Sequence[BinnedCurvePoint]) -> float:
+    """Pearson r between log capacity and log average demand over bins.
+
+    The paper reports the correlation between a group's link capacity and
+    its usage; both axes of its figures are logarithmic, so we correlate
+    in log-log space. Bins with non-positive averages cannot be logged
+    and are excluded.
+    """
+    xs = [math.log10(p.center_mbps) for p in points if p.average > 0]
+    ys = [math.log10(p.average) for p in points if p.average > 0]
+    if len(xs) < 2:
+        return math.nan
+    return pearson_r(xs, ys)

@@ -1,0 +1,197 @@
+"""Sec. 4 — longitudinal trends in usage (Fig. 6).
+
+Per-year demand-vs-capacity curves, plus the natural experiment the
+paper describes: comparing matched users of the same capacity class
+across years should show *no* significant demand change — traffic growth
+comes from subscribers moving up tiers, not from using existing tiers
+harder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.binning import BinSpec, capacity_class_spec
+from ..core.experiments import ExperimentResult, NaturalExperiment, PairedOutcome
+from ..core.matching import match_pairs
+from ..core.upgrades import ServicePeriod
+from ..datasets.records import PeriodObservation, UserRecord
+from ..exceptions import AnalysisError
+from .common import BinnedCurve, BinnedCurvePoint
+from ..core.stats import mean_confidence_interval
+
+__all__ = ["Figure6Result", "YearCurve", "figure6", "year_observations"]
+
+
+def year_observations(
+    users: Sequence[UserRecord], year: int
+) -> list[tuple[UserRecord, PeriodObservation]]:
+    """All (user, observation) pairs for one calendar year."""
+    out = []
+    for user in users:
+        obs = user.observation_in_year(year)
+        if obs is not None:
+            out.append((user, obs))
+    return out
+
+
+def _period_demand(period: ServicePeriod, metric: str, include_bt: bool) -> float:
+    if metric == "mean":
+        return period.mean_mbps if include_bt else period.mean_no_bt_mbps
+    if metric == "peak":
+        return period.peak_mbps if include_bt else period.peak_no_bt_mbps
+    raise AnalysisError(f"unknown metric {metric!r}")
+
+
+@dataclass(frozen=True)
+class YearCurve:
+    """One year's demand-vs-capacity curve."""
+
+    year: int
+    curve: BinnedCurve
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Per-year curves for one panel plus the cross-year experiments.
+
+    ``cross_year_experiment`` pools all matched cross-year pairs;
+    ``per_class_experiments`` runs the paper's actual test — "any
+    significant change in demand at any given speed tier" — one sign test
+    per capacity class with enough pairs.
+    """
+
+    metric: str
+    include_bt: bool
+    year_curves: tuple[YearCurve, ...]
+    cross_year_experiment: ExperimentResult
+    per_class_experiments: tuple[tuple[object, ExperimentResult], ...] = ()
+
+    def classes_rejecting_null(self) -> list[object]:
+        """Capacity classes whose demand changed significantly."""
+        return [
+            bin_
+            for bin_, result in self.per_class_experiments
+            if result.rejects_null
+        ]
+
+    def max_class_drift(self) -> float:
+        """Largest |log-ratio| of class demand between first and last year.
+
+        A value near zero means demand per class stayed constant — the
+        paper's headline longitudinal finding.
+        """
+        import math
+
+        first = self.year_curves[0].curve
+        last = self.year_curves[-1].curve
+        drifts = []
+        for point in first.points:
+            other = last.point_for(point.center_mbps)
+            if other is not None and point.average > 0 and other.average > 0:
+                drifts.append(abs(math.log(other.average / point.average)))
+        if not drifts:
+            raise AnalysisError("no shared classes between first and last year")
+        return max(drifts)
+
+
+def _year_curve(
+    observations: Sequence[tuple[UserRecord, PeriodObservation]],
+    metric: str,
+    include_bt: bool,
+    spec: BinSpec,
+    min_users: int,
+) -> BinnedCurve:
+    grouped = spec.group(
+        (obs.period.capacity_mbps, obs) for _, obs in observations
+    )
+    points = []
+    for bin_ in spec:
+        members = grouped.get(bin_, [])
+        if len(members) < min_users:
+            continue
+        values = [_period_demand(o.period, metric, include_bt) for o in members]
+        points.append(
+            BinnedCurvePoint(
+                bin=bin_,
+                n_users=len(members),
+                average=float(sum(values) / len(values)),
+                ci=mean_confidence_interval(values),
+            )
+        )
+    return BinnedCurve(metric=metric, include_bt=include_bt, points=tuple(points))
+
+
+def figure6(
+    users: Sequence[UserRecord],
+    metric: str = "peak",
+    include_bt: bool = False,
+    years: Sequence[int] = (2011, 2012, 2013),
+    min_users: int = 5,
+    caliper: float = 0.25,
+) -> Figure6Result:
+    """Fig. 6: demand vs capacity per year, plus the no-change experiment.
+
+    The cross-year experiment matches first-year observations with
+    last-year observations of *different* users on capacity, latency and
+    loss, and tests whether later-year demand is higher. The paper found
+    no significant change; the result's ``rejects_null`` should be False.
+    """
+    if len(years) < 2:
+        raise AnalysisError("a longitudinal analysis needs at least two years")
+    spec = capacity_class_spec()
+    per_year = {year: year_observations(users, year) for year in years}
+    curves = tuple(
+        YearCurve(
+            year=year,
+            curve=_year_curve(per_year[year], metric, include_bt, spec, min_users),
+        )
+        for year in years
+    )
+
+    first, last = years[0], years[-1]
+    confounders = (
+        lambda pair: pair[1].period.capacity_mbps,
+        lambda pair: pair[1].latency_ms,
+        lambda pair: max(pair[1].loss_fraction, 1e-4),
+    )
+    matching = match_pairs(
+        per_year[first], per_year[last], confounders, caliper=caliper
+    )
+
+    def outcome(pair) -> PairedOutcome:
+        return PairedOutcome(
+            _period_demand(pair.control[1].period, metric, include_bt),
+            _period_demand(pair.treatment[1].period, metric, include_bt),
+        )
+
+    pooled = NaturalExperiment(
+        name=f"{first} vs {last} demand at fixed capacity",
+        hypothesis="demand at a fixed capacity class grows over time",
+    ).evaluate(outcome(pair) for pair in matching.pairs)
+
+    # The paper's per-tier version: one experiment per capacity class.
+    per_class: list[tuple[object, ExperimentResult]] = []
+    by_class: dict = {}
+    for pair in matching.pairs:
+        bin_ = spec.bin_of(pair.control[1].period.capacity_mbps)
+        if bin_ is not None:
+            by_class.setdefault(bin_, []).append(pair)
+    for bin_ in spec:
+        pairs = by_class.get(bin_, [])
+        if len(pairs) < min_users:
+            continue
+        result = NaturalExperiment(
+            name=f"{first} vs {last} in {bin_.label()}",
+            hypothesis="demand in this class grows over time",
+        ).evaluate(outcome(pair) for pair in pairs)
+        per_class.append((bin_, result))
+
+    return Figure6Result(
+        metric=metric,
+        include_bt=include_bt,
+        year_curves=curves,
+        cross_year_experiment=pooled,
+        per_class_experiments=tuple(per_class),
+    )

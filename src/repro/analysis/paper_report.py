@@ -1,0 +1,238 @@
+"""The complete reproduction report.
+
+Runs every table and figure of the paper's evaluation over a set of
+datasets and renders one plain-text report with the paper's reported
+values alongside the measured ones. This is what the CLI's ``report``
+command and the benchmark summaries are built from.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..datasets.records import UserRecord
+from ..exceptions import AnalysisError
+from ..market.survey import PlanSurvey
+from . import capacity, characterization, longitudinal, price, quality, upgrade_cost
+from .price import Table4Result
+from .report import format_curve, format_experiment_row
+from .upgrade_cost import Table5Result
+
+__all__ = ["full_report", "section_reports"]
+
+
+def _section_fig1(dasu: Sequence[UserRecord]) -> str:
+    result = characterization.figure1(dasu)
+    lines = [f"Figure 1 — connection characterization (n={result.n_users})"]
+    for label, paper, measured in result.summary_rows():
+        lines.append(
+            f"  {label:<40} paper {paper:>8.3f}   measured {measured:>8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def _section_capacity(
+    dasu: Sequence[UserRecord], fcc: Sequence[UserRecord] | None
+) -> str:
+    lines = ["Section 3 — impact of capacity"]
+    fig2 = capacity.figure2(dasu)
+    lines.append(format_curve("  Fig. 2d: peak demand, no BT", fig2.peak_no_bt))
+    lines.append(
+        f"  min panel correlation: paper >= 0.870, measured "
+        f"{fig2.min_correlation:.3f}"
+    )
+    if fcc:
+        fig3 = capacity.figure3(dasu, fcc)
+        lines.append(
+            f"  Fig. 3: Dasu/FCC mean ratio {fig3.mean_ratio_dasu_over_fcc:.2f}"
+            f", peak ratio {fig3.peak_ratio_dasu_over_fcc:.2f}"
+        )
+    t1 = capacity.table1(dasu)
+    lines.append(f"  Table 1 ({t1.n_observations} slow/fast pairs):")
+    for label, paper, result in t1.rows():
+        lines.append("  " + format_experiment_row(label, paper, result))
+    fig4 = capacity.figure4(dasu)
+    lines.append(
+        f"  Fig. 4: median mean usage x{fig4.mean_ratio_at_median:.1f} "
+        f"(paper x2.0), median peak x{fig4.peak_ratio_at_median:.1f} "
+        f"(paper x3.3) on the faster network"
+    )
+    t2 = capacity.table2(dasu, "dasu")
+    lines.append("  Table 2 (Dasu):")
+    for row in t2.rows:
+        lines.append(
+            "  "
+            + format_experiment_row(
+                f"{row.control_bin.label()} vs next", None, row.experiment
+            )
+        )
+    return "\n".join(lines)
+
+
+def _section_longitudinal(dasu: Sequence[UserRecord]) -> str:
+    result = longitudinal.figure6(dasu, min_users=30)
+    lines = ["Section 4 — longitudinal trends (Fig. 6)"]
+    lines.append(
+        "  "
+        + format_experiment_row(
+            "2011 vs 2013 (pooled)", None, result.cross_year_experiment
+        )
+    )
+    lines.append(
+        f"  classes rejecting the no-change null: "
+        f"{len(result.classes_rejecting_null())} of "
+        f"{len(result.per_class_experiments)}"
+    )
+    lines.append(
+        f"  max class drift |log ratio|: {result.max_class_drift():.3f}"
+    )
+    return "\n".join(lines)
+
+
+def _section_price(
+    dasu: Sequence[UserRecord], survey: PlanSurvey | None
+) -> str:
+    lines = ["Section 5 — price of broadband access"]
+    t3 = price.table3(dasu)
+    for label, paper, result in t3.rows():
+        lines.append("  " + format_experiment_row(label, paper, result))
+    if survey is not None:
+        t4 = price.table4(dasu, survey)
+        lines.append("  Table 4 (paper/measured):")
+        for row in t4.rows:
+            paper = Table4Result.PAPER_VALUES[row.country]
+            lines.append(
+                f"    {row.country:<13} median {paper[1]:>6.2f}/"
+                f"{row.median_capacity_mbps:<8.2f} income-share "
+                f"{100 * paper[5]:>4.1f}%/"
+                f"{100 * row.cost_share_of_monthly_income:.1f}%"
+            )
+    fig7 = price.figure7(dasu)
+    lines.append(
+        "  Fig. 7: utilization order reverses capacity order: "
+        f"{fig7.utilization_order_reverses_capacity_order()}"
+    )
+    for entry in fig7.countries:
+        lines.append(
+            f"    {entry.country:<13} capacity {entry.median_capacity_mbps:>7.2f}"
+            f" Mbps, peak utilization {100 * entry.mean_peak_utilization:>5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def _section_upgrade_cost(
+    dasu: Sequence[UserRecord], survey: PlanSurvey | None
+) -> str:
+    lines = ["Section 6 — cost of increasing capacity"]
+    if survey is not None:
+        fig10 = upgrade_cost.figure10(survey)
+        strong, moderate = upgrade_cost.correlation_summary(survey)
+        lines.append(
+            f"  Fig. 10: {fig10.n_countries} qualifying markets; "
+            f"correlation strong {strong:.2f} (paper 0.66), "
+            f"moderate {moderate:.2f} (paper 0.81)"
+        )
+        t5 = upgrade_cost.table5(survey)
+        lines.append("  Table 5 (paper/measured, % above $1/$5/$10):")
+        for row in t5.rows:
+            if row.n_countries == 0:
+                continue
+            paper = Table5Result.PAPER_VALUES[row.region]
+            lines.append(
+                f"    {row.region:<27} "
+                f"{100 * paper[0]:>3.0f}/{100 * row.share_above_1:<4.0f} "
+                f"{100 * paper[1]:>3.0f}/{100 * row.share_above_5:<4.0f} "
+                f"{100 * paper[2]:>3.0f}/{100 * row.share_above_10:<4.0f}"
+            )
+    for include_bt in (True, False):
+        t6 = upgrade_cost.table6(dasu, include_bt=include_bt)
+        tag = "w/ BT" if include_bt else "no BT"
+        lines.append(f"  Table 6 ({tag}):")
+        for label, paper, result in t6.rows():
+            lines.append("  " + format_experiment_row(label, paper, result))
+    return "\n".join(lines)
+
+
+def _section_quality(dasu: Sequence[UserRecord]) -> str:
+    lines = ["Section 7 — connection quality"]
+    t7 = quality.table7(dasu)
+    lines.append("  Table 7 (latency):")
+    for row in t7.rows:
+        lines.append(
+            "  "
+            + format_experiment_row(
+                f"control (512,2048] vs {row.treatment_bin.label('ms')}",
+                row.paper_percent,
+                row.experiment,
+            )
+        )
+    fig11 = quality.figure11(dasu)
+    lines.append(
+        f"  Fig. 11: India median latency {fig11.india_median_ndt_ms:.0f} ms "
+        f"vs rest {fig11.other_median_ndt_ms:.0f} ms; India demands less "
+        f"than matched US users {100 * fig11.india_lower_demand_share:.0f}% "
+        f"of the time (paper 62%)"
+    )
+    t8 = quality.table8(dasu)
+    lines.append("  Table 8 (packet loss):")
+    for row in t8.rows:
+        lines.append(
+            "  "
+            + format_experiment_row(
+                row.experiment.result.name, row.paper_percent, row.experiment
+            )
+        )
+    fig12 = quality.figure12(dasu)
+    lines.append(
+        f"  Fig. 12: median loss India {fig12.india_median_loss_pct:.2f}% "
+        f"vs rest {fig12.other_median_loss_pct:.3f}%"
+    )
+    return "\n".join(lines)
+
+
+def section_reports(
+    dasu: Sequence[UserRecord],
+    fcc: Sequence[UserRecord] | None = None,
+    survey: PlanSurvey | None = None,
+) -> list[str]:
+    """One rendered block per paper section; sections whose data are
+    insufficient (e.g. no Indian users) are reported as skipped rather
+    than aborting the whole report."""
+    if not dasu:
+        raise AnalysisError("a report needs at least the Dasu dataset")
+    sections = []
+    builders = (
+        lambda: _section_fig1(dasu),
+        lambda: _section_capacity(dasu, fcc),
+        lambda: _section_longitudinal(dasu),
+        lambda: _section_price(dasu, survey),
+        lambda: _section_upgrade_cost(dasu, survey),
+        lambda: _section_quality(dasu),
+    )
+    for build in builders:
+        try:
+            sections.append(build())
+        except AnalysisError as exc:
+            sections.append(f"[section skipped: {exc}]")
+    return sections
+
+
+def full_report(
+    dasu: Sequence[UserRecord],
+    fcc: Sequence[UserRecord] | None = None,
+    survey: PlanSurvey | None = None,
+) -> str:
+    """The complete paper-vs-measured report as one string."""
+    header = (
+        "Reproduction report — Bischof, Bustamante & Stanojevic, "
+        "IMC 2014\n"
+        f"datasets: {len(dasu)} Dasu users"
+        + (f", {len(fcc)} FCC users" if fcc else "")
+        + (f", {survey.n_plans} plans" if survey is not None else "")
+    )
+    divider = "=" * 72
+    blocks = [header]
+    for section in section_reports(dasu, fcc, survey):
+        blocks.append(divider)
+        blocks.append(section)
+    return "\n".join(blocks)

@@ -1,0 +1,109 @@
+"""User segmentation — the paper's closing future-work item.
+
+The paper ends by noting it treated users as one homogeneous consumer
+group and that studying categories (gamers, movie-watchers, ...) would be
+interesting. This module implements that extension using **measured**
+behavior only (no ground-truth profiles): users are segmented by their
+observed traffic shape, and each segment's market behavior is compared.
+
+Segments (by measured features of the current period):
+
+* ``bulk``     — BitTorrent was observed on the connection;
+* ``sustained``— high mean-to-peak ratio: long steady sessions
+  (streaming-like workloads);
+* ``bursty``   — low mean-to-peak ratio: short intense bursts
+  (browsing/gaming-like workloads);
+* ``light``    — negligible demand altogether.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..datasets.records import UserRecord
+from ..exceptions import AnalysisError
+from ..core.stats import percentile
+
+__all__ = ["SEGMENTS", "SegmentProfile", "SegmentationResult", "classify_user", "segment_users"]
+
+SEGMENTS = ("light", "bursty", "sustained", "bulk")
+
+#: Peak demand below this (Mbps) marks a light user.
+_LIGHT_PEAK_MBPS = 0.05
+#: Mean/peak ratio above this marks sustained usage.
+_SUSTAINED_RATIO = 0.25
+
+
+def classify_user(user: UserRecord) -> str:
+    """Assign one user to a segment from measured behavior only."""
+    if user.bt_user:
+        return "bulk"
+    if user.peak_no_bt_mbps < _LIGHT_PEAK_MBPS:
+        return "light"
+    ratio = user.mean_no_bt_mbps / user.peak_no_bt_mbps
+    return "sustained" if ratio >= _SUSTAINED_RATIO else "bursty"
+
+
+@dataclass(frozen=True)
+class SegmentProfile:
+    """Aggregate behavior of one segment."""
+
+    segment: str
+    n_users: int
+    median_capacity_mbps: float
+    median_peak_mbps: float
+    mean_peak_utilization: float
+    share_switched_service: float
+
+
+@dataclass(frozen=True)
+class SegmentationResult:
+    profiles: tuple[SegmentProfile, ...]
+    assignments: Mapping[str, str]  # user_id -> segment
+
+    def profile(self, segment: str) -> SegmentProfile:
+        for entry in self.profiles:
+            if entry.segment == segment:
+                return entry
+        raise AnalysisError(f"no profile for segment {segment!r}")
+
+    @property
+    def shares(self) -> dict[str, float]:
+        total = sum(p.n_users for p in self.profiles)
+        return {p.segment: p.n_users / total for p in self.profiles}
+
+
+def segment_users(users: Sequence[UserRecord]) -> SegmentationResult:
+    """Segment a population and profile each segment."""
+    if not users:
+        raise AnalysisError("cannot segment an empty population")
+    assignments = {u.user_id: classify_user(u) for u in users}
+    profiles = []
+    for segment in SEGMENTS:
+        members = [u for u in users if assignments[u.user_id] == segment]
+        if not members:
+            continue
+        profiles.append(
+            SegmentProfile(
+                segment=segment,
+                n_users=len(members),
+                median_capacity_mbps=percentile(
+                    [u.capacity_down_mbps for u in members], 50.0
+                ),
+                median_peak_mbps=percentile(
+                    [u.peak_no_bt_mbps for u in members], 50.0
+                ),
+                mean_peak_utilization=float(
+                    np.mean([u.peak_utilization for u in members])
+                ),
+                share_switched_service=float(
+                    np.mean([u.switched_service for u in members])
+                ),
+            )
+        )
+    return SegmentationResult(
+        profiles=tuple(profiles), assignments=assignments
+    )

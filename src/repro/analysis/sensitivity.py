@@ -1,0 +1,119 @@
+"""Seed-sweep sensitivity harness.
+
+A single synthetic world is one draw from the generative model; any
+conclusion worth reporting should hold across draws. This module runs a
+statistic over independently-seeded worlds and summarizes the resulting
+distribution, with a Wilson interval when the statistic is a proportion
+with a known trial count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.stats import ConfidenceInterval, wilson_interval
+from ..datasets import World, WorldConfig, build_world
+from ..exceptions import AnalysisError
+
+__all__ = ["SeedSweepResult", "SweepPoint", "seed_sweep", "proportion_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One seed's statistic (optionally with its trial count)."""
+
+    seed: int
+    value: float
+    n_trials: int | None = None
+
+    def wilson(self) -> ConfidenceInterval | None:
+        """95% Wilson interval when the value is a proportion of trials."""
+        if self.n_trials is None or self.n_trials <= 0:
+            return None
+        successes = int(round(self.value * self.n_trials))
+        return wilson_interval(successes, self.n_trials)
+
+
+@dataclass(frozen=True)
+class SeedSweepResult:
+    """A statistic's distribution over independently seeded worlds."""
+
+    points: tuple[SweepPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise AnalysisError("a sweep needs at least one seed")
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.array([p.value for p in self.points])
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    @property
+    def spread(self) -> float:
+        """Max minus min across seeds."""
+        return float(self.values.max() - self.values.min())
+
+    def all_above(self, threshold: float) -> bool:
+        return bool(np.all(self.values > threshold))
+
+    def rows(self) -> list[str]:
+        lines = []
+        for point in self.points:
+            ci = point.wilson()
+            band = (
+                ""
+                if ci is None
+                else f"  95% CI [{ci.low:.3f}, {ci.high:.3f}]"
+            )
+            lines.append(f"  seed {point.seed}: {point.value:.3f}{band}")
+        return lines
+
+
+def seed_sweep(
+    base_config: WorldConfig,
+    seeds: Sequence[int],
+    statistic: Callable[[World], float],
+) -> SeedSweepResult:
+    """Evaluate ``statistic`` over one world per seed.
+
+    Each world is ``base_config`` with only the seed replaced; building
+    worlds dominates the cost, so size the config to the question.
+    """
+    if not seeds:
+        raise AnalysisError("a sweep needs at least one seed")
+    points = []
+    for seed in seeds:
+        world = build_world(replace(base_config, seed=int(seed)))
+        points.append(SweepPoint(seed=int(seed), value=float(statistic(world))))
+    return SeedSweepResult(points=tuple(points))
+
+
+def proportion_sweep(
+    base_config: WorldConfig,
+    seeds: Sequence[int],
+    statistic: Callable[[World], tuple[float, int]],
+) -> SeedSweepResult:
+    """Like :func:`seed_sweep` for proportion statistics.
+
+    ``statistic`` returns ``(fraction, n_trials)`` so each point carries a
+    Wilson interval (e.g. an experiment's %-H-holds and its pair count).
+    """
+    if not seeds:
+        raise AnalysisError("a sweep needs at least one seed")
+    points = []
+    for seed in seeds:
+        world = build_world(replace(base_config, seed=int(seed)))
+        fraction, n_trials = statistic(world)
+        points.append(
+            SweepPoint(
+                seed=int(seed), value=float(fraction), n_trials=int(n_trials)
+            )
+        )
+    return SeedSweepResult(points=tuple(points))

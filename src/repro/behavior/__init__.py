@@ -1,0 +1,36 @@
+"""User-behavior substrate: need, want, can afford.
+
+This package implements the causal mechanisms the paper's natural
+experiments are designed to detect:
+
+* a heavy-tailed latent **need** for bandwidth per household
+  (:mod:`repro.behavior.population`);
+* utility-based **plan choice** under a budget, which creates the
+  selection effects that couple market prices to per-capacity demand
+  (:mod:`repro.behavior.choice`);
+* a diminishing-returns **usage response** to capacity, suppressed by
+  poor connection quality (:mod:`repro.behavior.demand`);
+* **upgrade dynamics** — households jump to a faster tier when their need
+  outgrows the pipe (:mod:`repro.behavior.upgrades`).
+
+Nothing in :mod:`repro.analysis` reads these ground-truth objects; the
+analyses only see what the measurement clients report.
+"""
+
+from .choice import ChoiceModel, PlanChoice
+from .demand import DemandProcess, qoe_multiplier
+from .population import LatentUser, PopulationModel
+from .profiles import APPLICATION_PROFILES, ApplicationProfile
+from .upgrades import UpgradePolicy
+
+__all__ = [
+    "APPLICATION_PROFILES",
+    "ApplicationProfile",
+    "ChoiceModel",
+    "DemandProcess",
+    "LatentUser",
+    "PlanChoice",
+    "PopulationModel",
+    "UpgradePolicy",
+    "qoe_multiplier",
+]

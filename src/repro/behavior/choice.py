@@ -1,0 +1,133 @@
+"""Utility-based plan choice: the "want" and "can afford" mechanisms.
+
+A household values satisfied demand with diminishing returns and pays the
+plan price. Among affordable plans it picks the utility maximizer (with a
+log-space taste shock); in markets with a heavily promoted default tier,
+a fraction of subscribers simply take that tier. These two ingredients
+produce the selection structure the paper measures:
+
+* where upgrades are expensive, only high-need households sit on fast
+  plans, so demand-per-capacity is high;
+* where upgrades are nearly free (Japan, South Korea), tier choice
+  decouples from need and fast links run nearly idle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..market.market import CountryMarket
+from ..market.plans import BroadbandPlan
+from .population import LatentUser
+
+__all__ = ["ChoiceModel", "PlanChoice"]
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """The outcome of one household's plan selection."""
+
+    plan: BroadbandPlan
+    utility: float
+    took_promoted_tier: bool
+
+
+class ChoiceModel:
+    """Discrete plan choice under budget with diminishing-returns value.
+
+    The value of a plan of capacity ``c`` to a household of need ``n`` is
+
+        value(c) = value_scale * n * (1 - exp(-c / (headroom * n)))
+
+    which saturates once the pipe comfortably covers the need. The
+    household maximizes ``value - price`` over plans priced within its
+    budget, with a multiplicative taste shock on value.
+    """
+
+    def __init__(
+        self,
+        value_scale: float = 110.0,
+        headroom: float = 2.0,
+        plan_noise_usd: float = 2.5,
+    ) -> None:
+        if value_scale <= 0 or headroom <= 0:
+            raise DatasetError("value scale and headroom must be positive")
+        if plan_noise_usd < 0:
+            raise DatasetError("plan noise must be non-negative")
+        self.value_scale = value_scale
+        self.headroom = headroom
+        self.plan_noise_usd = plan_noise_usd
+
+    def plan_value(self, need_mbps: float, capacity_mbps: float) -> float:
+        """Monthly USD-PPP value of a plan to a household of given need."""
+        if need_mbps <= 0 or capacity_mbps <= 0:
+            raise DatasetError("need and capacity must be positive")
+        scale = self.headroom * need_mbps
+        return (
+            self.value_scale
+            * need_mbps
+            * (1.0 - math.exp(-capacity_mbps / scale))
+        )
+
+    def choose(
+        self,
+        user: LatentUser,
+        market: CountryMarket,
+        rng: np.random.Generator,
+        promoted_tier_mbps: float | None = None,
+        promoted_adoption: float = 0.0,
+    ) -> PlanChoice | None:
+        """Pick a plan, or ``None`` if nothing fits the household budget.
+
+        Dedicated (business-grade) plans are skipped: residential panels
+        like Dasu and SamKnows do not cover them.
+        """
+        candidates = [p for p in market.plans if not p.dedicated]
+        affordable = [
+            p
+            for p in candidates
+            if p.monthly_price_usd_ppp <= user.budget_usd_ppp
+        ]
+        if not affordable:
+            return None
+
+        if promoted_tier_mbps is not None and promoted_adoption > 0.0:
+            promoted = [
+                p
+                for p in affordable
+                if math.isclose(
+                    p.download_mbps, promoted_tier_mbps, rel_tol=0.26
+                )
+            ]
+            if promoted and rng.random() < promoted_adoption:
+                plan = min(promoted, key=lambda p: p.monthly_price_usd_ppp)
+                value = self.plan_value(user.need_mbps, plan.download_mbps)
+                return PlanChoice(
+                    plan=plan,
+                    utility=value - plan.monthly_price_usd_ppp,
+                    took_promoted_tier=True,
+                )
+
+        # One multiplicative taste shock per decision (how much this
+        # household values connectivity overall), plus a small additive
+        # per-plan noise in dollars (imperfect comparison shopping). The
+        # separation matters: among plans that already saturate the
+        # household's need, the price difference — not a resampled taste —
+        # must decide, or cheap-upgrade markets degenerate to uniform
+        # tier choice.
+        taste = float(np.exp(rng.normal(0.0, user.taste_sigma)))
+        best: BroadbandPlan | None = None
+        best_utility = -math.inf
+        for plan in affordable:
+            value = taste * self.plan_value(user.need_mbps, plan.download_mbps)
+            wobble = float(rng.normal(0.0, self.plan_noise_usd))
+            utility = value - plan.monthly_price_usd_ppp + wobble
+            if utility > best_utility:
+                best = plan
+                best_utility = utility
+        assert best is not None
+        return PlanChoice(plan=best, utility=best_utility, took_promoted_tier=False)

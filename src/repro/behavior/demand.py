@@ -1,0 +1,136 @@
+"""Usage response: how much of its need a household actually expresses.
+
+The offered load a household places on its link is its latent need shaped
+by (i) time of day and session behavior (:mod:`repro.traffic`), and (ii)
+connection quality: long latencies and high loss degrade the experience,
+so people use the connection less (the paper's Sec. 7 mechanism, distinct
+from the hard TCP throughput ceiling in :mod:`repro.network.tcp`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import DatasetError
+from ..network.path import NetworkPath
+from ..network.tcp import effective_capacity_mbps
+from .population import LatentUser
+
+__all__ = ["DemandProcess", "cap_awareness_multiplier", "qoe_multiplier"]
+
+#: Latency at which quality of experience starts to degrade, in ms.
+_RTT_KNEE_MS = 150.0
+#: Latency scale of the degradation beyond the knee, in ms.
+_RTT_SCALE_MS = 900.0
+#: Loss rate at which quality of experience starts to degrade (0.1%).
+_LOSS_KNEE = 0.001
+#: Approximate monthly volume, in GB, generated per Mbps of average rate.
+_GB_PER_MONTH_PER_MBPS = 328.0
+#: Typical ratio of a household's average rate to its offered peak.
+_MEAN_TO_PEAK = 0.1
+#: Households never self-throttle below this share of their demand.
+_CAP_FLOOR = 0.35
+
+
+def qoe_multiplier(rtt_ms: float, loss_fraction: float) -> float:
+    """Demand suppression factor in (0, 1] for a connection's quality.
+
+    Calibrated to the paper's thresholds: demand is visibly lower above
+    ~500 ms RTT and above ~0.1% loss, dramatically lower above 1% loss.
+    """
+    if rtt_ms <= 0:
+        raise DatasetError(f"RTT must be positive, got {rtt_ms}")
+    if not 0.0 <= loss_fraction < 1.0:
+        raise DatasetError(f"loss must be in [0, 1), got {loss_fraction}")
+    lat_term = 1.0 / (1.0 + max(0.0, rtt_ms - _RTT_KNEE_MS) / _RTT_SCALE_MS)
+    loss_excess = max(0.0, loss_fraction - _LOSS_KNEE) / 0.02
+    loss_term = 1.0 / (1.0 + 1.2 * loss_excess**0.65)
+    return lat_term * loss_term
+
+
+def cap_awareness_multiplier(
+    offered_peak_mbps: float, data_cap_gb: float | None
+) -> float:
+    """Self-throttling under a monthly traffic cap, in (0, 1].
+
+    Chetty et al. (SIGCHI'12, the paper's citation [7]) found that capped
+    households ration their usage. We model a household that projects its
+    monthly volume from its latent demand and scales back proportionally
+    when the projection exceeds the cap, never below :data:`_CAP_FLOOR`
+    (some use is not discretionary).
+    """
+    if offered_peak_mbps <= 0:
+        raise DatasetError("offered peak must be positive")
+    if data_cap_gb is None:
+        return 1.0
+    if data_cap_gb <= 0:
+        raise DatasetError(f"data cap must be positive, got {data_cap_gb}")
+    projected_gb = (
+        offered_peak_mbps * _MEAN_TO_PEAK * _GB_PER_MONTH_PER_MBPS
+    )
+    if projected_gb <= data_cap_gb:
+        return 1.0
+    return max(_CAP_FLOOR, data_cap_gb / projected_gb)
+
+
+@dataclass(frozen=True)
+class DemandProcess:
+    """Everything the traffic generator needs for one household's link.
+
+    ``offered_peak_mbps`` is the quality-suppressed latent need;
+    ``ceiling_mbps`` the TCP-and-line throughput cap. The realized rate
+    series is produced by :func:`repro.traffic.generator.generate_usage_series`.
+    """
+
+    offered_peak_mbps: float
+    ceiling_mbps: float
+    activity_level: float
+    burstiness_sigma: float
+    rate_median_share: float
+    bt_user: bool
+    #: Uplink-to-downlink ratio of the household's foreground traffic.
+    upload_share: float = 0.06
+    #: What the uplink can carry (line rate or TCP ceiling).
+    up_ceiling_mbps: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.offered_peak_mbps <= 0 or self.ceiling_mbps <= 0:
+            raise DatasetError("demand process rates must be positive")
+        if not 0.0 < self.upload_share <= 1.0:
+            raise DatasetError("upload share must be a fraction in (0, 1]")
+        if self.up_ceiling_mbps <= 0:
+            raise DatasetError("uplink ceiling must be positive")
+
+    @classmethod
+    def for_user(
+        cls,
+        user: LatentUser,
+        path: NetworkPath,
+        data_cap_gb: float | None = None,
+    ) -> "DemandProcess":
+        """Derive the demand process of a household on a concrete path.
+
+        ``data_cap_gb`` is the plan's monthly traffic limit, if any;
+        capped households ration their offered load.
+        """
+        q = qoe_multiplier(path.web_rtt_ms, path.loss_fraction)
+        q *= cap_awareness_multiplier(
+            max(0.005, user.need_mbps), data_cap_gb
+        )
+        ceiling = max(0.01, effective_capacity_mbps(path))
+        up_ceiling = max(
+            0.005,
+            min(path.link.upload_mbps, ceiling),
+        )
+        return cls(
+            offered_peak_mbps=max(0.005, user.need_mbps * q),
+            ceiling_mbps=ceiling,
+            activity_level=min(
+                1.0, user.profile.activity_level * user.activity_scale
+            ),
+            burstiness_sigma=user.profile.burstiness_sigma,
+            rate_median_share=user.profile.rate_median_share,
+            bt_user=user.bt_user,
+            upload_share=user.profile.upload_share,
+            up_ceiling_mbps=up_ceiling,
+        )

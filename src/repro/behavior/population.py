@@ -1,0 +1,146 @@
+"""The latent-user population: need, budget, tastes.
+
+Each simulated household carries a heavy-tailed latent **need** (the peak
+demand it would place on an infinite, perfect link), a **budget** (its
+willingness to pay for broadband, drawn as a share of the country's
+monthly income proxy), and idiosyncratic tastes. The three "need, want,
+can afford" dimensions of the paper's title are exactly these fields plus
+the market's plan ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..market.economy import Economy
+from .profiles import ApplicationProfile, sample_profile
+
+__all__ = ["LatentUser", "PopulationModel"]
+
+
+@dataclass(frozen=True)
+class LatentUser:
+    """Ground truth for one household (never read by the analyses)."""
+
+    user_id: str
+    country: str
+    need_mbps: float
+    budget_usd_ppp: float
+    profile: ApplicationProfile
+    bt_user: bool
+    taste_sigma: float
+    activity_scale: float
+    yearly_need_growth: float
+    upgrade_threshold: float
+
+    def __post_init__(self) -> None:
+        if self.need_mbps <= 0 or self.budget_usd_ppp <= 0:
+            raise DatasetError(f"{self.user_id}: need and budget must be positive")
+        if not 0.0 < self.upgrade_threshold <= 1.0:
+            raise DatasetError(f"{self.user_id}: bad upgrade threshold")
+
+    def grown(self, years: int = 1) -> "LatentUser":
+        """The same household after ``years`` of demand growth."""
+        if years < 0:
+            raise DatasetError("cannot grow by a negative number of years")
+        return replace(
+            self, need_mbps=self.need_mbps * self.yearly_need_growth**years
+        )
+
+
+class PopulationModel:
+    """Draws latent households for a country.
+
+    Parameters mirror the world-level knobs: the latent-need distribution
+    is lognormal and, crucially, *identical across countries* — the paper's
+    cross-market demand differences must arise from markets and selection,
+    not from baked-in national appetites.
+    """
+
+    def __init__(
+        self,
+        need_median_mbps: float = 2.2,
+        need_sigma: float = 1.1,
+        budget_share_median: float = 0.028,
+        budget_share_sigma: float = 0.85,
+        budget_share_cap: float = 0.16,
+        income_sigma: float = 0.6,
+        grower_fraction: float = 0.35,
+        need_growth_median: float = 2.2,
+        need_growth_sigma: float = 0.25,
+    ) -> None:
+        if need_median_mbps <= 0 or need_sigma <= 0:
+            raise DatasetError("invalid need distribution")
+        if budget_share_median <= 0 or budget_share_sigma <= 0:
+            raise DatasetError("invalid budget distribution")
+        self.need_median_mbps = need_median_mbps
+        self.need_sigma = need_sigma
+        self.budget_share_median = budget_share_median
+        self.budget_share_sigma = budget_share_sigma
+        self.budget_share_cap = budget_share_cap
+        self.income_sigma = income_sigma
+        if not 0.0 <= grower_fraction <= 1.0:
+            raise DatasetError("grower fraction must be a fraction")
+        self.grower_fraction = grower_fraction
+        self.need_growth_median = need_growth_median
+        self.need_growth_sigma = need_growth_sigma
+
+    def sample_user(
+        self,
+        user_id: str,
+        economy: Economy,
+        rng: np.random.Generator,
+        bt_population: bool = True,
+    ) -> LatentUser:
+        """Draw one candidate household in the given economy.
+
+        ``bt_population`` marks panels recruited through a BitTorrent
+        client (the Dasu vantage) versus general-population panels (the
+        FCC/SamKnows gateways), which have lower BitTorrent propensity.
+        """
+        need = float(
+            self.need_median_mbps * np.exp(rng.normal(0.0, self.need_sigma))
+        )
+        share = float(
+            self.budget_share_median
+            * np.exp(rng.normal(0.0, self.budget_share_sigma))
+        )
+        share = min(share, self.budget_share_cap)
+        # GDP per capita hides household income inequality; broadband
+        # panels in poor, expensive markets are drawn from the richer tail.
+        household_income = economy.monthly_income_ppp_usd * float(
+            np.exp(rng.normal(0.0, self.income_sigma))
+        )
+        budget = max(3.0, share * household_income)
+        profile = sample_profile(rng)
+        bt_propensity = profile.bt_propensity if bt_population else 0.06
+        # Demand growth is episodic, not universal: a minority of
+        # households (new streaming habit, more family members online)
+        # grow fast and jump tiers; the rest stay flat. This is what
+        # keeps demand per capacity class stationary (Sec. 4) while
+        # total traffic grows.
+        if rng.random() < self.grower_fraction:
+            growth = float(
+                self.need_growth_median
+                * np.exp(rng.normal(0.0, self.need_growth_sigma))
+            )
+        else:
+            growth = 1.0
+        return LatentUser(
+            user_id=user_id,
+            country=economy.country,
+            need_mbps=need,
+            budget_usd_ppp=budget,
+            profile=profile,
+            bt_user=bool(rng.random() < bt_propensity),
+            taste_sigma=0.55,
+            # Bounded away from zero: every real household has *some*
+            # evening activity, and the 95th-percentile demand statistic
+            # degenerates when active time falls below 5% of samples.
+            activity_scale=float(0.7 + rng.beta(2.0, 2.0) * 1.0),
+            yearly_need_growth=max(1.0, growth),
+            upgrade_threshold=float(rng.uniform(0.35, 0.75)),
+        )

@@ -1,0 +1,101 @@
+"""Upgrade dynamics: households jump tiers when need outgrows the pipe.
+
+The paper's longitudinal finding — constant demand per capacity class
+despite fast traffic growth — requires exactly this mechanism: a household
+whose need grows does not keep saturating its link for long; once peak
+utilization crosses its personal tolerance it re-enters the market and
+buys a faster service (if one is affordable). Households that cannot
+afford to move stay and run hot (the Botswana pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..market.market import CountryMarket
+from .choice import ChoiceModel, PlanChoice
+from .population import LatentUser
+
+__all__ = ["UpgradeDecision", "UpgradePolicy"]
+
+
+@dataclass(frozen=True)
+class UpgradeDecision:
+    """What a household decided at a yearly review."""
+
+    switched: bool
+    choice: PlanChoice | None
+    reason: str
+
+
+class UpgradePolicy:
+    """Yearly service review for one household.
+
+    A household reconsiders its plan when (i) its peak utilization crossed
+    its tolerance, or (ii) an exogenous move forces a re-choice (new home,
+    ISP churn). A reconsideration only becomes a switch when the newly
+    chosen plan's capacity differs by at least ``min_change_ratio`` —
+    matching the switch-detection threshold in :mod:`repro.core.upgrades`.
+    """
+
+    def __init__(
+        self,
+        choice_model: ChoiceModel,
+        move_probability: float = 0.03,
+        min_change_ratio: float = 1.25,
+    ) -> None:
+        if not 0.0 <= move_probability <= 1.0:
+            raise DatasetError("move probability must be a fraction")
+        if min_change_ratio <= 1.0:
+            raise DatasetError("min change ratio must exceed 1")
+        self.choice_model = choice_model
+        self.move_probability = move_probability
+        self.min_change_ratio = min_change_ratio
+
+    def review(
+        self,
+        user: LatentUser,
+        market: CountryMarket,
+        current_capacity_mbps: float,
+        peak_utilization: float,
+        rng: np.random.Generator,
+        promoted_tier_mbps: float | None = None,
+        promoted_adoption: float = 0.0,
+        need_grew: bool = False,
+    ) -> UpgradeDecision:
+        """Decide whether the household changes service this year.
+
+        ``need_grew`` marks a demand-growth episode this year (a new
+        streaming habit, another person online): the household re-enters
+        the market even before its old link visibly saturates.
+        """
+        if current_capacity_mbps <= 0:
+            raise DatasetError("current capacity must be positive")
+        if not 0.0 <= peak_utilization <= 1.0:
+            raise DatasetError("peak utilization must be a fraction")
+
+        moved = rng.random() < self.move_probability
+        pressured = need_grew or peak_utilization >= user.upgrade_threshold
+        if not moved and not pressured:
+            return UpgradeDecision(False, None, "content")
+
+        choice = self.choice_model.choose(
+            user,
+            market,
+            rng,
+            promoted_tier_mbps=promoted_tier_mbps,
+            promoted_adoption=promoted_adoption,
+        )
+        if choice is None:
+            return UpgradeDecision(False, None, "nothing affordable")
+
+        ratio = choice.plan.download_mbps / current_capacity_mbps
+        if moved:
+            # A move forces a new line even at a similar speed.
+            return UpgradeDecision(True, choice, "moved")
+        if ratio >= self.min_change_ratio:
+            return UpgradeDecision(True, choice, "outgrew service")
+        return UpgradeDecision(False, None, "no better tier affordable")

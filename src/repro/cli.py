@@ -1,0 +1,302 @@
+"""Command-line interface.
+
+Three subcommands cover the study lifecycle::
+
+    python -m repro build   --out DIR [--seed N --users N --fcc N --days D]
+    python -m repro analyze --data DIR --experiment NAME
+    python -m repro report  --data DIR [--out FILE]
+    python -m repro export  --data DIR --out DIR
+
+``build`` generates a world and persists it (users.csv, survey.csv,
+config.json); ``analyze`` runs a single paper experiment against a
+persisted dataset; ``report`` renders the full paper-vs-measured report.
+Everything operates on the on-disk record formats, so third-party
+datasets in the same schema work too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .analysis import capacity, characterization, longitudinal, price, quality, upgrade_cost
+from .analysis.paper_report import full_report
+from .analysis.report import format_experiment_row
+from .datasets import WorldConfig, build_world
+from .datasets.io import (
+    read_survey_csv,
+    read_users_csv,
+    write_config_json,
+    write_survey_csv,
+    write_users_csv,
+)
+from .exceptions import ReproError
+
+__all__ = ["main"]
+
+#: Experiments runnable via ``analyze``; each maps to (needs_survey, runner).
+EXPERIMENTS = (
+    "fig1", "fig2", "fig4", "fig6", "fig7", "fig10", "fig11", "fig12",
+    "table1", "table2", "table3", "table5", "table6", "table7", "table8",
+    # Extensions beyond the paper's evaluation.
+    "caps", "diurnal", "segments", "upload",
+)
+
+
+def _build(args: argparse.Namespace) -> int:
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    config = WorldConfig(
+        seed=args.seed,
+        n_dasu_users=args.users,
+        n_fcc_users=args.fcc,
+        days_per_year=args.days,
+    )
+    print(f"building world (seed={config.seed}, {config.n_dasu_users} "
+          "Dasu users)...", flush=True)
+    world = build_world(config)
+    n_users = write_users_csv(world.all_users, out / "users.csv")
+    n_plans = write_survey_csv(world.survey, out / "survey.csv")
+    write_config_json(config, out / "config.json")
+    print(f"wrote {n_users} user-period rows, {n_plans} plan rows to {out}")
+    return 0
+
+
+def _load(data_dir: Path):
+    users_path = data_dir / "users.csv"
+    if not users_path.exists():
+        raise ReproError(f"no users.csv under {data_dir}")
+    users = read_users_csv(users_path)
+    dasu = [u for u in users if u.source == "dasu"]
+    fcc = [u for u in users if u.source == "fcc"]
+    survey = None
+    survey_path = data_dir / "survey.csv"
+    if survey_path.exists():
+        survey = read_survey_csv(survey_path)
+    return dasu, fcc, survey
+
+
+def _run_experiment(name: str, dasu, fcc, survey) -> str:
+    if name in ("table5", "fig10") and survey is None:
+        raise ReproError(f"{name} needs survey.csv next to users.csv")
+    lines: list[str] = [f"experiment: {name}"]
+    if name == "fig1":
+        for label, paper, measured in characterization.figure1(dasu).summary_rows():
+            lines.append(f"  {label:<40} paper {paper:>8.3f} measured {measured:>8.3f}")
+    elif name == "fig2":
+        result = capacity.figure2(dasu)
+        for title, curve in result.panels():
+            lines.append(f"  {title}: r = {curve.correlation:.3f}")
+    elif name == "fig4":
+        result = capacity.figure4(dasu)
+        lines.append(f"  mean usage ratio at median: {result.mean_ratio_at_median:.2f}")
+        lines.append(f"  peak usage ratio at median: {result.peak_ratio_at_median:.2f}")
+    elif name == "fig6":
+        result = longitudinal.figure6(dasu, min_users=30)
+        lines.append(format_experiment_row("2011 vs 2013", None, result.cross_year_experiment))
+        lines.append(f"  max class drift: {result.max_class_drift():.3f}")
+    elif name == "fig7":
+        result = price.figure7(dasu)
+        for entry in result.countries:
+            lines.append(
+                f"  {entry.country:<14} capacity {entry.median_capacity_mbps:8.2f} Mbps"
+                f"  utilization {100 * entry.mean_peak_utilization:5.1f}%"
+            )
+    elif name == "fig10":
+        result = upgrade_cost.figure10(survey)
+        lines.append(f"  qualifying markets: {result.n_countries}")
+        for country in ("Japan", "US", "Ghana"):
+            cost = result.cost_for(country)
+            if cost is not None:
+                lines.append(f"  {country:<8} ${cost:.2f}/Mbps")
+    elif name == "fig11":
+        result = quality.figure11(dasu)
+        lines.append(
+            f"  India lower demand than matched US: "
+            f"{100 * result.india_lower_demand_share:.0f}% (paper 62%)"
+        )
+    elif name == "fig12":
+        result = quality.figure12(dasu)
+        lines.append(
+            f"  median loss: India {result.india_median_loss_pct:.2f}% "
+            f"vs rest {result.other_median_loss_pct:.3f}%"
+        )
+    elif name == "table1":
+        result = capacity.table1(dasu)
+        for label, paper, experiment in result.rows():
+            lines.append(format_experiment_row(label, paper, experiment))
+    elif name == "table2":
+        result = capacity.table2(dasu, "dasu")
+        for row in result.rows:
+            lines.append(
+                format_experiment_row(
+                    f"{row.control_bin.label()} vs next", None, row.experiment
+                )
+            )
+    elif name == "table3":
+        result = price.table3(dasu)
+        for label, paper, experiment in result.rows():
+            lines.append(format_experiment_row(label, paper, experiment))
+    elif name == "table5":
+        result = upgrade_cost.table5(survey)
+        for row in result.rows:
+            if row.n_countries:
+                lines.append(
+                    f"  {row.region:<28} >$1 {100 * row.share_above_1:3.0f}%"
+                    f"  >$5 {100 * row.share_above_5:3.0f}%"
+                    f"  >$10 {100 * row.share_above_10:3.0f}%"
+                )
+    elif name == "table6":
+        for include_bt in (True, False):
+            result = upgrade_cost.table6(dasu, include_bt=include_bt)
+            tag = "w/ BT" if include_bt else "no BT"
+            for label, paper, experiment in result.rows():
+                lines.append(format_experiment_row(f"{label} ({tag})", paper, experiment))
+    elif name == "table7":
+        result = quality.table7(dasu)
+        for row in result.rows:
+            lines.append(
+                format_experiment_row(
+                    f"vs {row.treatment_bin.label('ms')}",
+                    row.paper_percent,
+                    row.experiment,
+                )
+            )
+    elif name == "table8":
+        result = quality.table8(dasu)
+        for row in result.rows:
+            lines.append(
+                format_experiment_row(
+                    row.experiment.result.name, row.paper_percent, row.experiment
+                )
+            )
+    elif name == "caps":
+        from .analysis.caps import caps_experiment
+
+        result = caps_experiment(dasu)
+        r = result.experiment.result
+        lines.append(
+            f"  {result.n_tight_capped} tightly capped vs "
+            f"{result.n_uncapped} uncapped users"
+        )
+        lines.append(format_experiment_row("uncapped demand more", None, r))
+    elif name == "diurnal":
+        from .analysis.diurnal import population_diurnal_profile
+
+        profile = population_diurnal_profile(dasu)
+        lines.append(
+            f"  peak hour {profile.peak_hour}:00, trough "
+            f"{profile.trough_hour}:00, peak/trough "
+            f"x{profile.peak_to_trough_ratio:.1f}, coverage bias "
+            f"{profile.coverage_bias():.2f}"
+        )
+    elif name == "segments":
+        from .analysis.segments import segment_users
+
+        result = segment_users(dasu)
+        for profile in result.profiles:
+            lines.append(
+                f"  {profile.segment:<10} n={profile.n_users:<6} "
+                f"median peak {profile.median_peak_mbps:.3f} Mbps  "
+                f"mean util {100 * profile.mean_peak_utilization:.1f}%"
+            )
+    elif name == "upload":
+        from .analysis.upload import seeding_experiment, upload_asymmetry
+
+        asymmetry = upload_asymmetry(dasu)
+        lines.append(
+            f"  median up/down ratio {asymmetry.median_ratio:.3f} "
+            f"(n={asymmetry.n_users})"
+        )
+        seeding = seeding_experiment(dasu)
+        lines.append(
+            format_experiment_row(
+                "BT households upload more", None, seeding
+            )
+        )
+    else:
+        raise ReproError(f"unknown experiment {name!r}")
+    return "\n".join(lines)
+
+
+def _analyze(args: argparse.Namespace) -> int:
+    dasu, fcc, survey = _load(Path(args.data))
+    print(_run_experiment(args.experiment, dasu, fcc, survey))
+    return 0
+
+
+def _report(args: argparse.Namespace) -> int:
+    dasu, fcc, survey = _load(Path(args.data))
+    text = full_report(dasu, fcc, survey)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _export(args: argparse.Namespace) -> int:
+    from .analysis.export import export_figure_data
+
+    dasu, fcc, survey = _load(Path(args.data))
+    files = export_figure_data(Path(args.out), dasu, fcc, survey)
+    print(f"wrote {len(files)} figure-data files to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction toolkit for 'Need, Want, Can Afford' (IMC 2014)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="generate and persist a world")
+    p_build.add_argument("--out", required=True, help="output directory")
+    p_build.add_argument("--seed", type=int, default=20141105)
+    p_build.add_argument("--users", type=int, default=2000,
+                         help="Dasu users to simulate")
+    p_build.add_argument("--fcc", type=int, default=400,
+                         help="FCC gateways to simulate")
+    p_build.add_argument("--days", type=float, default=1.5,
+                         help="observed days per user per year")
+    p_build.set_defaults(func=_build)
+
+    p_analyze = sub.add_parser("analyze", help="run one paper experiment")
+    p_analyze.add_argument("--data", required=True,
+                           help="directory written by 'build'")
+    p_analyze.add_argument("--experiment", required=True, choices=EXPERIMENTS)
+    p_analyze.set_defaults(func=_analyze)
+
+    p_report = sub.add_parser("report", help="full paper-vs-measured report")
+    p_report.add_argument("--data", required=True)
+    p_report.add_argument("--out", help="write the report to a file")
+    p_report.set_defaults(func=_report)
+
+    p_export = sub.add_parser(
+        "export", help="write every figure's data series to CSV"
+    )
+    p_export.add_argument("--data", required=True)
+    p_export.add_argument("--out", required=True)
+    p_export.set_defaults(func=_export)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

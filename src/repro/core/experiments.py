@@ -1,0 +1,181 @@
+"""The natural-experiment study design (Sec. 2.3 of the paper).
+
+A *natural experiment* here is a sign test over matched pairs: each pair
+contributes one Bernoulli observation — whether the "treated" unit's outcome
+exceeds the "control" unit's outcome. If neither variable affects the other,
+treated beats control about 50% of the time; significant deviations suggest
+a causal relationship.
+
+Two safeguards from the paper are built in:
+
+* significance is assessed with a **one-tailed exact binomial test** at
+  ``alpha = 0.05``;
+* because with enough pairs even a trivially biased coin looks significant
+  (the Paxson critique), deviations must additionally exceed a **practical
+  margin of 2%** — the hypothesis must hold at least 52% of the time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..exceptions import ExperimentError
+from .stats import BinomialTestResult, binomial_test_greater
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "DEFAULT_PRACTICAL_MARGIN",
+    "ExperimentResult",
+    "NaturalExperiment",
+    "PairedOutcome",
+]
+
+DEFAULT_ALPHA = 0.05
+DEFAULT_PRACTICAL_MARGIN = 0.02
+
+
+@dataclass(frozen=True)
+class PairedOutcome:
+    """Outcome values of one matched (control, treatment) pair."""
+
+    control_value: float
+    treatment_value: float
+
+    @property
+    def hypothesis_holds(self) -> bool:
+        """True when the treated unit's outcome strictly exceeds control's."""
+        return self.treatment_value > self.control_value
+
+    @property
+    def is_tie(self) -> bool:
+        return self.treatment_value == self.control_value
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The outcome of one natural experiment, as the paper tabulates it."""
+
+    name: str
+    n_pairs: int
+    n_holds: int
+    n_ties: int
+    p_value: float
+    alpha: float
+    practical_margin: float
+
+    @property
+    def fraction_holds(self) -> float:
+        """'% H holds' — fraction of non-tied pairs supporting H."""
+        if self.n_pairs == 0:
+            return float("nan")
+        return self.n_holds / self.n_pairs
+
+    @property
+    def statistically_significant(self) -> bool:
+        return self.n_pairs > 0 and self.p_value < self.alpha
+
+    @property
+    def practically_important(self) -> bool:
+        """Whether the deviation clears the 2% practical-importance margin."""
+        return (
+            self.n_pairs > 0
+            and self.fraction_holds >= 0.5 + self.practical_margin
+        )
+
+    @property
+    def rejects_null(self) -> bool:
+        """The paper's overall verdict: significant *and* practically important."""
+        return self.statistically_significant and self.practically_important
+
+    def row(self) -> str:
+        """One table row in the paper's format (asterisk = not significant)."""
+        star = "" if self.statistically_significant else "*"
+        return (
+            f"{self.name}: {100 * self.fraction_holds:.1f}%{star} "
+            f"(n={self.n_pairs}, p={self.p_value:.3g})"
+        )
+
+
+class NaturalExperiment:
+    """A named hypothesis evaluated over matched-pair outcomes.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports (e.g. ``"(3.2, 6.4] vs (6.4, 12.8]"``).
+    hypothesis:
+        Human-readable statement of H (treatment outcome > control outcome).
+    null_probability:
+        Per-pair probability of success under H0 (0.5: pure chance).
+    alpha, practical_margin:
+        Significance level and minimum deviation for practical importance.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        hypothesis: str = "treatment increases the outcome",
+        null_probability: float = 0.5,
+        alpha: float = DEFAULT_ALPHA,
+        practical_margin: float = DEFAULT_PRACTICAL_MARGIN,
+    ) -> None:
+        if not 0.0 < null_probability < 1.0:
+            raise ExperimentError(
+                f"null probability must be in (0, 1), got {null_probability}"
+            )
+        if not 0.0 < alpha < 1.0:
+            raise ExperimentError(f"alpha must be in (0, 1), got {alpha}")
+        if practical_margin < 0.0 or practical_margin >= 0.5:
+            raise ExperimentError(
+                f"practical margin must be in [0, 0.5), got {practical_margin}"
+            )
+        self.name = name
+        self.hypothesis = hypothesis
+        self.null_probability = null_probability
+        self.alpha = alpha
+        self.practical_margin = practical_margin
+
+    def evaluate(self, outcomes: Iterable[PairedOutcome]) -> ExperimentResult:
+        """Run the sign test over the given paired outcomes.
+
+        Exact ties carry no information about the direction of the effect
+        and are dropped before testing (the standard sign-test convention).
+        """
+        n_holds = 0
+        n_ties = 0
+        n_total = 0
+        for outcome in outcomes:
+            n_total += 1
+            if outcome.is_tie:
+                n_ties += 1
+            elif outcome.hypothesis_holds:
+                n_holds += 1
+        n_pairs = n_total - n_ties
+        test: BinomialTestResult = binomial_test_greater(
+            n_holds, n_pairs, self.null_probability
+        )
+        return ExperimentResult(
+            name=self.name,
+            n_pairs=n_pairs,
+            n_holds=n_holds,
+            n_ties=n_ties,
+            p_value=test.p_value,
+            alpha=self.alpha,
+            practical_margin=self.practical_margin,
+        )
+
+    def evaluate_values(
+        self,
+        control_values: Sequence[float],
+        treatment_values: Sequence[float],
+    ) -> ExperimentResult:
+        """Convenience wrapper taking parallel control/treatment sequences."""
+        if len(control_values) != len(treatment_values):
+            raise ExperimentError(
+                "control and treatment sequences must have equal length"
+            )
+        return self.evaluate(
+            PairedOutcome(c, t)
+            for c, t in zip(control_values, treatment_values)
+        )

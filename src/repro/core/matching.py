@@ -1,0 +1,189 @@
+"""Nearest-neighbor matching with a relative caliper.
+
+The paper pairs each user in the "treatment" group with a similar user in
+the "control" group, requiring the pair to be *within 25% of each other on
+every confounding factor* (Sec. 3.2). Matching is 1:1 without replacement.
+
+This module implements a deterministic, globally-greedy variant: all
+caliper-compatible (control, treatment) candidate pairs are ranked by a
+scale-free distance (the sum of absolute log-ratios over the confounders)
+and accepted in order, skipping candidates whose endpoints were already
+matched. Global greediness avoids the order-dependence of per-unit greedy
+matching and makes results reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Generic, Sequence, TypeVar
+
+import numpy as np
+
+from ..exceptions import MatchingError
+
+__all__ = [
+    "DEFAULT_CALIPER",
+    "MatchedPair",
+    "MatchingSummary",
+    "caliper_compatible",
+    "match_pairs",
+]
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+#: The paper's caliper: members of a pair must be within 25% of each other.
+DEFAULT_CALIPER = 0.25
+
+#: Values at or below this magnitude are treated as "zero" for ratio
+#: comparisons (e.g. unmeasurably small packet-loss rates).
+ZERO_FLOOR = 1e-6
+
+
+def caliper_compatible(a: float, b: float, caliper: float = DEFAULT_CALIPER) -> bool:
+    """Whether two confounder values are within ``caliper`` of each other.
+
+    "Within 25% of each other" is interpreted multiplicatively and
+    symmetrically: ``max(a, b) <= (1 + caliper) * min(a, b)``, after flooring
+    both values at :data:`ZERO_FLOOR` so that pairs of effectively-zero
+    values (e.g. two loss-free lines) are compatible.
+    """
+    if caliper <= 0:
+        raise MatchingError(f"caliper must be positive, got {caliper}")
+    if a < 0 or b < 0:
+        raise MatchingError(f"confounders must be non-negative, got {a}, {b}")
+    lo = max(min(a, b), ZERO_FLOOR)
+    hi = max(max(a, b), ZERO_FLOOR)
+    return hi <= (1.0 + caliper) * lo
+
+
+@dataclass(frozen=True)
+class MatchedPair(Generic[T, U]):
+    """A matched (control, treatment) pair and its confounder distance."""
+
+    control: T
+    treatment: U
+    distance: float
+
+
+@dataclass(frozen=True)
+class MatchingSummary(Generic[T, U]):
+    """The result of a matching run."""
+
+    pairs: tuple[MatchedPair[T, U], ...]
+    n_control: int
+    n_treatment: int
+    caliper: float
+
+    @property
+    def n_matched(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def match_rate(self) -> float:
+        """Fraction of the smaller group that found a partner."""
+        smaller = min(self.n_control, self.n_treatment)
+        if smaller == 0:
+            return 0.0
+        return self.n_matched / smaller
+
+
+def _confounder_matrix(
+    units: Sequence[T],
+    confounders: Sequence[Callable[[T], float]],
+) -> np.ndarray:
+    """Log-space confounder matrix, one row per unit."""
+    rows = []
+    for unit in units:
+        row = []
+        for extract in confounders:
+            value = float(extract(unit))
+            if math.isnan(value) or value < 0:
+                raise MatchingError(
+                    f"confounder {extract!r} produced invalid value {value!r}"
+                )
+            row.append(math.log(max(value, ZERO_FLOOR)))
+        rows.append(row)
+    return np.asarray(rows, dtype=float).reshape(len(units), len(confounders))
+
+
+def match_pairs(
+    control: Sequence[T],
+    treatment: Sequence[U],
+    confounders: Sequence[Callable],
+    caliper: float = DEFAULT_CALIPER,
+    max_pairs: int | None = None,
+) -> MatchingSummary[T, U]:
+    """Match control and treatment units on shared confounders.
+
+    Parameters
+    ----------
+    control, treatment:
+        The two unit pools; elements are arbitrary objects.
+    confounders:
+        Callables extracting one non-negative float per unit (applied to
+        units of both pools). Every confounder must pass the caliper check
+        for a pair to be eligible.
+    caliper:
+        Maximum relative difference per confounder (default 25%).
+    max_pairs:
+        Optional cap on the number of accepted pairs (cheapest-distance
+        pairs are kept).
+    """
+    if not confounders:
+        raise MatchingError("at least one confounder is required")
+    summary_empty = MatchingSummary(
+        pairs=(), n_control=len(control), n_treatment=len(treatment), caliper=caliper
+    )
+    if not control or not treatment:
+        return summary_empty
+
+    log_c = _confounder_matrix(control, confounders)
+    log_t = _confounder_matrix(treatment, confounders)
+    limit = math.log(1.0 + caliper)
+
+    # Enumerate caliper-compatible candidate pairs in chunks of control rows
+    # so peak memory stays bounded for large pools.
+    chunk = max(1, int(4_000_000 / max(1, len(treatment))))
+    ci_parts: list[np.ndarray] = []
+    ti_parts: list[np.ndarray] = []
+    dist_parts: list[np.ndarray] = []
+    for start in range(0, len(control), chunk):
+        block = log_c[start : start + chunk]
+        # |log a - log b| per (control, treatment, confounder).
+        diff = np.abs(block[:, None, :] - log_t[None, :, :])
+        compatible = np.all(diff <= limit + 1e-12, axis=2)
+        rows, cols = np.nonzero(compatible)
+        if rows.size:
+            ci_parts.append(rows + start)
+            ti_parts.append(cols)
+            dist_parts.append(diff.sum(axis=2)[rows, cols])
+    if not ci_parts:
+        return summary_empty
+    ci = np.concatenate(ci_parts)
+    ti = np.concatenate(ti_parts)
+    pair_distance = np.concatenate(dist_parts)
+    order = np.lexsort((ti, ci, pair_distance))
+
+    used_control = np.zeros(len(control), dtype=bool)
+    used_treatment = np.zeros(len(treatment), dtype=bool)
+    pairs: list[MatchedPair] = []
+    budget = ci.size if max_pairs is None else max_pairs
+    for idx in order:
+        if len(pairs) >= budget:
+            break
+        c, t = int(ci[idx]), int(ti[idx])
+        if used_control[c] or used_treatment[t]:
+            continue
+        used_control[c] = True
+        used_treatment[t] = True
+        pairs.append(
+            MatchedPair(control[c], treatment[t], float(pair_distance[idx]))
+        )
+    return MatchingSummary(
+        pairs=tuple(pairs),
+        n_control=len(control),
+        n_treatment=len(treatment),
+        caliper=caliper,
+    )

@@ -1,0 +1,160 @@
+"""Quasi-experimental design (QED), the alternative the paper discusses.
+
+Sec. 8 of the paper contrasts its natural experiments with the
+quasi-experimental designs of Krishnan & Sitaraman (IMC'12) and Oktay et
+al. In the K&S formulation, treated and untreated units are paired
+within identical covariate *strata*, each pair contributes a signed
+outcome comparison, and the **net outcome score** — the mean of the pair
+signs — estimates the treatment effect, with significance from the same
+sign-test machinery.
+
+This module implements that design so the two estimators can be compared
+on identical data (see ``benchmarks/test_extensions.py``): QED's
+exact-stratum matching is stricter than caliper matching, trading pair
+volume for cleaner comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from ..exceptions import ExperimentError
+from .stats import binomial_test_greater
+
+__all__ = ["QedResult", "QuasiExperiment", "stratum_key"]
+
+T = TypeVar("T")
+
+
+def stratum_key(
+    unit: T,
+    confounders: Sequence[Callable[[T], float]],
+    bins_per_decade: int = 3,
+) -> tuple[int, ...]:
+    """Discretize a unit's confounders into a stratum identifier.
+
+    Each confounder is binned geometrically (``bins_per_decade`` bins per
+    factor of ten), so two units share a stratum only when *every*
+    confounder falls in the same narrow band — the QED notion of
+    "identical" covariates.
+    """
+    if bins_per_decade < 1:
+        raise ExperimentError("bins_per_decade must be positive")
+    key = []
+    for extract in confounders:
+        value = float(extract(unit))
+        if math.isnan(value) or value < 0:
+            raise ExperimentError(f"invalid confounder value {value!r}")
+        floored = max(value, 1e-6)
+        key.append(int(math.floor(math.log10(floored) * bins_per_decade)))
+    return tuple(key)
+
+
+@dataclass(frozen=True)
+class QedResult:
+    """Outcome of a quasi-experimental comparison."""
+
+    name: str
+    n_pairs: int
+    n_positive: int
+    n_negative: int
+    n_ties: int
+    net_outcome_score: float
+    p_value: float
+
+    @property
+    def fraction_positive(self) -> float:
+        decisive = self.n_positive + self.n_negative
+        if decisive == 0:
+            return float("nan")
+        return self.n_positive / decisive
+
+    @property
+    def significant(self) -> bool:
+        return self.n_pairs > 0 and self.p_value < 0.05
+
+
+class QuasiExperiment:
+    """Stratified pairing plus the net-outcome-score sign test.
+
+    Parameters
+    ----------
+    name:
+        Identifier for reports.
+    confounders:
+        Callables extracting one non-negative float per unit.
+    bins_per_decade:
+        Stratum resolution; higher is stricter (fewer, cleaner pairs).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        confounders: Sequence[Callable[[T], float]],
+        bins_per_decade: int = 3,
+    ) -> None:
+        if not confounders:
+            raise ExperimentError("QED needs at least one confounder")
+        self.name = name
+        self.confounders = list(confounders)
+        self.bins_per_decade = bins_per_decade
+
+    def _strata(self, units: Sequence[T]) -> dict[tuple[int, ...], list[T]]:
+        strata: dict[tuple[int, ...], list[T]] = {}
+        for unit in units:
+            key = stratum_key(unit, self.confounders, self.bins_per_decade)
+            strata.setdefault(key, []).append(unit)
+        return strata
+
+    def run(
+        self,
+        control: Sequence[T],
+        treatment: Sequence[T],
+        outcome: Callable[[T], float],
+        rng: np.random.Generator | None = None,
+    ) -> QedResult:
+        """Pair within strata and compute the net outcome score.
+
+        Within each stratum, controls and treatments are paired one to
+        one (in shuffled order when ``rng`` is given, insertion order
+        otherwise); surplus units on either side go unmatched. Each pair
+        contributes ``sign(outcome(treated) - outcome(control))``.
+        """
+        control_strata = self._strata(control)
+        treatment_strata = self._strata(treatment)
+
+        positive = negative = ties = 0
+        for key, treated_units in treatment_strata.items():
+            control_units = control_strata.get(key)
+            if not control_units:
+                continue
+            treated = list(treated_units)
+            controls = list(control_units)
+            if rng is not None:
+                rng.shuffle(treated)
+                rng.shuffle(controls)
+            for t_unit, c_unit in zip(treated, controls):
+                delta = outcome(t_unit) - outcome(c_unit)
+                if delta > 0:
+                    positive += 1
+                elif delta < 0:
+                    negative += 1
+                else:
+                    ties += 1
+
+        n_pairs = positive + negative
+        test = binomial_test_greater(positive, n_pairs)
+        score = 0.0 if n_pairs == 0 else (positive - negative) / n_pairs
+        return QedResult(
+            name=self.name,
+            n_pairs=n_pairs,
+            n_positive=positive,
+            n_negative=negative,
+            n_ties=ties,
+            net_outcome_score=score,
+            p_value=test.p_value,
+        )

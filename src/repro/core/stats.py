@@ -1,0 +1,248 @@
+"""Statistical primitives used by the natural-experiment framework.
+
+The one-tailed binomial test is implemented from first principles (stable
+log-space evaluation of the binomial tail) because it is the load-bearing
+statistic of the paper; the test suite cross-checks it against
+``scipy.stats.binomtest``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import AnalysisError
+
+__all__ = [
+    "BinomialTestResult",
+    "ConfidenceInterval",
+    "binomial_sf",
+    "binomial_test_greater",
+    "ecdf",
+    "log_binomial_pmf",
+    "mean_confidence_interval",
+    "pearson_r",
+    "percentile",
+    "spearman_r",
+    "wilson_interval",
+]
+
+#: z value for a two-sided 95% normal confidence interval.
+Z_95 = 1.959963984540054
+
+
+def log_binomial_pmf(k: int, n: int, p: float) -> float:
+    """Natural log of the binomial PMF ``P[X = k]`` for ``X ~ Bin(n, p)``."""
+    if not 0 <= k <= n:
+        raise AnalysisError(f"k={k} outside [0, n={n}]")
+    if not 0.0 <= p <= 1.0:
+        raise AnalysisError(f"p={p} outside [0, 1]")
+    if p == 0.0:
+        return 0.0 if k == 0 else -math.inf
+    if p == 1.0:
+        return 0.0 if k == n else -math.inf
+    log_choose = (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+    return log_choose + k * math.log(p) + (n - k) * math.log1p(-p)
+
+
+def binomial_sf(k: int, n: int, p: float) -> float:
+    """Upper tail ``P[X >= k]`` for ``X ~ Bin(n, p)``, evaluated stably.
+
+    Always sums the upper-tail PMF directly (exact compensated summation
+    of non-negative terms), never by complementing the lower tail — the
+    complement route loses all relative accuracy exactly where p-values
+    matter, in the deep tail. The O(n) cost is irrelevant at this
+    library's call rates (one test per experiment), and accuracy is
+    verified against scipy in the test suite.
+    """
+    if n < 0:
+        raise AnalysisError(f"n must be non-negative, got {n}")
+    if k <= 0:
+        return 1.0
+    if k > n:
+        return 0.0
+    total = math.fsum(
+        math.exp(log_binomial_pmf(i, n, p)) for i in range(k, n + 1)
+    )
+    return min(1.0, max(0.0, total))
+
+
+@dataclass(frozen=True)
+class BinomialTestResult:
+    """Outcome of a one-tailed (greater) exact binomial test."""
+
+    n_successes: int
+    n_trials: int
+    null_probability: float
+    p_value: float
+
+    @property
+    def fraction(self) -> float:
+        """Observed success fraction; NaN when there were no trials."""
+        if self.n_trials == 0:
+            return math.nan
+        return self.n_successes / self.n_trials
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the null hypothesis is rejected at level ``alpha``."""
+        return self.p_value < alpha
+
+
+def binomial_test_greater(
+    n_successes: int, n_trials: int, null_probability: float = 0.5
+) -> BinomialTestResult:
+    """One-tailed exact binomial test, alternative "greater".
+
+    This is the paper's significance test: under H0 the interaction between
+    the two studied variables is random, so each matched pair supports the
+    hypothesis with probability ``null_probability`` (0.5); the p-value is
+    ``P[X >= n_successes]``.
+    """
+    if n_trials < 0 or n_successes < 0 or n_successes > n_trials:
+        raise AnalysisError(
+            f"invalid counts: {n_successes} successes of {n_trials} trials"
+        )
+    if n_trials == 0:
+        return BinomialTestResult(0, 0, null_probability, 1.0)
+    p_value = binomial_sf(n_successes, n_trials, null_probability)
+    return BinomialTestResult(n_successes, n_trials, null_probability, p_value)
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A symmetric confidence interval around a point estimate."""
+
+    center: float
+    low: float
+    high: float
+    level: float = 0.95
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2.0
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def mean_confidence_interval(
+    values: Sequence[float] | np.ndarray, level: float = 0.95
+) -> ConfidenceInterval:
+    """Normal-approximation confidence interval for the mean.
+
+    Matches the error bars of the paper's figures (95% CI of the mean).
+    A single observation yields a degenerate interval at the value.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("cannot compute a confidence interval of nothing")
+    if level != 0.95:
+        raise AnalysisError("only the 95% level used by the paper is supported")
+    center = float(arr.mean())
+    if arr.size == 1:
+        return ConfidenceInterval(center, center, center, level)
+    sem = float(arr.std(ddof=1) / math.sqrt(arr.size))
+    return ConfidenceInterval(center, center - Z_95 * sem, center + Z_95 * sem, level)
+
+
+def wilson_interval(
+    n_successes: int, n_trials: int, level: float = 0.95
+) -> ConfidenceInterval:
+    """Wilson score interval for a binomial proportion.
+
+    Used to put uncertainty bands around the "% H holds" figures of the
+    natural experiments; unlike the normal approximation it behaves at
+    the edges (0%, 100%) and for small pair counts.
+    """
+    if n_trials <= 0 or n_successes < 0 or n_successes > n_trials:
+        raise AnalysisError(
+            f"invalid counts: {n_successes} of {n_trials}"
+        )
+    if level != 0.95:
+        raise AnalysisError("only the 95% level is supported")
+    z = Z_95
+    p_hat = n_successes / n_trials
+    denom = 1.0 + z * z / n_trials
+    center = (p_hat + z * z / (2 * n_trials)) / denom
+    half = (
+        z
+        * math.sqrt(
+            p_hat * (1 - p_hat) / n_trials
+            + z * z / (4 * n_trials * n_trials)
+        )
+        / denom
+    )
+    return ConfidenceInterval(
+        center=p_hat,
+        low=max(0.0, center - half),
+        high=min(1.0, center + half),
+        level=level,
+    )
+
+
+def pearson_r(x: Sequence[float] | np.ndarray, y: Sequence[float] | np.ndarray) -> float:
+    """Pearson correlation coefficient of two equal-length sequences."""
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise AnalysisError("pearson_r expects two equal-length 1-D sequences")
+    if xs.size < 2:
+        raise AnalysisError("correlation needs at least two points")
+    xd = xs - xs.mean()
+    yd = ys - ys.mean()
+    denom = math.sqrt(float(xd @ xd) * float(yd @ yd))
+    if denom == 0.0:
+        return math.nan
+    return float(xd @ yd) / denom
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based) with ties sharing the mean rank."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=float)
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+def spearman_r(x: Sequence[float] | np.ndarray, y: Sequence[float] | np.ndarray) -> float:
+    """Spearman rank correlation (Pearson correlation of average ranks)."""
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise AnalysisError("spearman_r expects two equal-length 1-D sequences")
+    return pearson_r(_ranks(xs), _ranks(ys))
+
+
+def percentile(values: Sequence[float] | np.ndarray, q: float) -> float:
+    """The ``q``-th percentile (linear interpolation), ``q`` in [0, 100]."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("cannot take a percentile of nothing")
+    if not 0.0 <= q <= 100.0:
+        raise AnalysisError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(arr, q))
+
+
+def ecdf(values: Sequence[float] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: sorted unique support ``x`` and ``P[X <= x]``.
+
+    Used to regenerate every CDF figure in the paper. Returns a pair of
+    arrays of equal length; the second is non-decreasing and ends at 1.0.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("cannot compute the ECDF of nothing")
+    xs, counts = np.unique(arr, return_counts=True)
+    return xs, np.cumsum(counts) / arr.size

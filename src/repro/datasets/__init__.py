@@ -1,0 +1,29 @@
+"""Dataset assembly: the simulated equivalents of the paper's datasets.
+
+* :mod:`repro.datasets.records` — analysis-ready record types (what a
+  cleaned measurement dataset contains; no ground truth);
+* :mod:`repro.datasets.world` — the world configuration and container;
+* :mod:`repro.datasets.builder` — the end-to-end generator: markets,
+  populations, traffic, measurement clients, record assembly;
+* :mod:`repro.datasets.io` — CSV/JSON persistence for the generated
+  datasets.
+"""
+
+from .builder import build_world
+from .records import PeriodObservation, UserRecord, period_year
+from .traces import UsageTrace, read_traces_npz, write_traces_npz
+from .world import DasuDataset, FccDataset, World, WorldConfig
+
+__all__ = [
+    "DasuDataset",
+    "FccDataset",
+    "PeriodObservation",
+    "UsageTrace",
+    "UserRecord",
+    "World",
+    "WorldConfig",
+    "build_world",
+    "period_year",
+    "read_traces_npz",
+    "write_traces_npz",
+]

@@ -1,0 +1,520 @@
+"""End-to-end world builder.
+
+Generates the markets, draws subscriber populations, simulates three
+calendar years of traffic and yearly service reviews per household, runs
+the simulated measurement clients over the result, and assembles the
+analysis-ready datasets. This module is the only place where ground truth
+(latent users) and measurements meet; everything downstream sees records
+only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..behavior.choice import ChoiceModel
+from ..behavior.demand import DemandProcess
+from ..behavior.population import LatentUser, PopulationModel
+from ..behavior.upgrades import UpgradePolicy
+from ..core.metrics import demand_summary
+from ..core.upgrades import NetworkId, ServicePeriod
+from ..exceptions import DatasetError
+from ..market.countries import CountryProfile, build_profiles
+from ..market.market import CountryMarket
+from ..market.plans import BroadbandPlan
+from ..market.survey import PlanSurvey, generate_survey
+from ..measurement.dasu import DasuClient, DasuVantage
+from ..measurement.gateway import FccGateway
+from ..measurement.ndt import NdtClient
+from ..measurement.web_latency import WebLatencyProber
+from ..network.geo import NetworkPlanner
+from ..network.link import AccessLink, provision_link
+from ..network.path import NetworkPath, build_path
+from ..network.technology import sample_technology
+from ..traffic.generator import generate_usage_series
+from .records import PeriodObservation, UserRecord, hourly_profile
+from .traces import UsageTrace
+from .world import DasuDataset, FccDataset, World, WorldConfig
+
+__all__ = ["build_world"]
+
+_DAYS_PER_YEAR = 365.0
+#: Minimum usable usage samples per period; below this the period (and in
+#: practice the user-year) is dropped, as the paper drops sparse vantages.
+_MIN_SAMPLES = 150
+_MIN_NO_BT_SAMPLES = 60
+
+
+def _allocate_counts(weights: np.ndarray, total: int) -> np.ndarray:
+    """Largest-remainder allocation of ``total`` users to countries."""
+    if total == 0:
+        return np.zeros(len(weights), dtype=int)
+    shares = weights / weights.sum() * total
+    counts = np.floor(shares).astype(int)
+    remainder = total - counts.sum()
+    if remainder > 0:
+        order = np.argsort(-(shares - counts))
+        counts[order[:remainder]] += 1
+    return counts
+
+
+@dataclass
+class _YearOutcome:
+    observation: PeriodObservation
+    measured_peak_utilization: float
+    trace: UsageTrace | None = None
+
+
+class _CountrySimulator:
+    """Simulates all households of one country for one data source."""
+
+    def __init__(
+        self,
+        profile: CountryProfile,
+        market: CountryMarket,
+        config: WorldConfig,
+        rng: np.random.Generator,
+        source: str,
+    ) -> None:
+        self.profile = profile
+        self.market = market
+        self.config = config
+        self.rng = rng
+        self.source = source
+        self.population = PopulationModel()
+        self.choice_model = ChoiceModel()
+        self.upgrade_policy = UpgradePolicy(self.choice_model)
+        self.planner = NetworkPlanner(
+            profile.name,
+            tuple(sorted({p.isp for p in market.plans})),
+            rng,
+        )
+        self.ndt = NdtClient(rng)
+        self.web_prober = WebLatencyProber(rng)
+
+    # -- plan selection ----------------------------------------------------
+
+    def _household_market(self) -> CountryMarket:
+        """The plan set actually available at one household's address.
+
+        Most households see the full national market; a minority are
+        supply-constrained (rural loops, unserved streets) and can only
+        buy slow tiers no matter what they need or can afford.
+        """
+        if self.rng.random() >= self.config.address_constraint_rate:
+            return self.market
+        residential = [p for p in self.market.plans if not p.dedicated]
+        if not residential:
+            residential = list(self.market.plans)
+        # Constrained addresses can still get low-single-digit megabits
+        # (long DSL loops); genuinely sub-megabit US subscribers are
+        # light users by choice, per Table 4 / Fig. 9's demand levels.
+        cap = float(np.exp(self.rng.uniform(np.log(2.0), np.log(16.0))))
+        available = tuple(
+            p for p in residential if p.download_mbps <= cap
+        )
+        if not available:
+            available = (
+                min(residential, key=lambda p: p.download_mbps),
+            )
+        return CountryMarket(economy=self.market.economy, plans=available)
+
+    def _choose_plan(
+        self, user: LatentUser, market: CountryMarket
+    ) -> BroadbandPlan | None:
+        if not self.config.price_selection_enabled:
+            # Ablation: sever the price/budget mechanism entirely — every
+            # candidate subscribes, to a uniformly random residential plan.
+            candidates = [p for p in market.plans if not p.dedicated]
+            if not candidates:
+                candidates = list(market.plans)
+            return candidates[int(self.rng.integers(len(candidates)))]
+        choice = self.choice_model.choose(
+            user,
+            market,
+            self.rng,
+            promoted_tier_mbps=self.profile.promoted_tier_mbps,
+            promoted_adoption=self.profile.promoted_adoption,
+        )
+        return None if choice is None else choice.plan
+
+    def _draw_subscriber(
+        self, user_id: str, market: CountryMarket
+    ) -> tuple[LatentUser, BroadbandPlan] | None:
+        """Draw candidate households until one subscribes."""
+        economy = market.economy
+        for _ in range(self.config.max_candidate_draws):
+            user = self.population.sample_user(
+                user_id,
+                economy,
+                self.rng,
+                bt_population=(self.source == "dasu"),
+            )
+            plan = self._choose_plan(user, market)
+            if plan is not None:
+                return user, plan
+        return None
+
+    # -- physical provisioning ----------------------------------------------
+
+    def _provision(self, plan: BroadbandPlan) -> AccessLink:
+        if plan.technology.is_fixed_line:
+            technology = sample_technology(
+                self.profile.tech_mix, plan.download_mbps, self.rng
+            )
+        else:
+            technology = plan.technology
+        return provision_link(
+            plan.download_mbps,
+            plan.upload_mbps,
+            technology,
+            self.rng,
+            loss_multiplier=self.profile.loss_multiplier,
+        )
+
+    def _path_for(self, link: AccessLink, previous: NetworkPath | None) -> NetworkPath:
+        if previous is None:
+            return build_path(link, self.profile.extra_latency_ms, self.rng)
+        # Same home, new line: the wide-area situation is unchanged.
+        return NetworkPath(
+            link=link,
+            distance_rtt_ms=previous.distance_rtt_ms,
+            cdn_gap_ms=previous.cdn_gap_ms,
+            path_loss_fraction=previous.path_loss_fraction,
+        )
+
+    # -- one observed year ---------------------------------------------------
+
+    def _demand_process(
+        self,
+        user: LatentUser,
+        path: NetworkPath,
+        data_cap_gb: float | None,
+    ) -> DemandProcess:
+        process = DemandProcess.for_user(user, path, data_cap_gb=data_cap_gb)
+        if self.config.quality_suppression_enabled:
+            return process
+        # Ablation: no QoE suppression and no TCP ceiling below line rate.
+        return DemandProcess(
+            offered_peak_mbps=user.need_mbps,
+            ceiling_mbps=path.link.download_mbps,
+            activity_level=process.activity_level,
+            burstiness_sigma=process.burstiness_sigma,
+            rate_median_share=process.rate_median_share,
+            bt_user=process.bt_user,
+        )
+
+    def _collect_usage(
+        self, series
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None] | None:
+        """(down rates, bt flags, local hours, up rates) as collected."""
+        if self.source == "dasu":
+            vantage = (
+                DasuVantage.UPNP
+                if self.rng.random() < 0.55
+                else DasuVantage.DIRECT
+            )
+            client = DasuClient(vantage, self.rng)
+            for _ in range(3):
+                sampled = client.collect(series)
+                if (
+                    sampled.n_samples >= _MIN_SAMPLES
+                    and int(np.sum(~sampled.bt_active)) >= _MIN_NO_BT_SAMPLES
+                ):
+                    return (
+                        sampled.rates_mbps,
+                        sampled.bt_active,
+                        sampled.hours,
+                        sampled.up_rates_mbps,
+                    )
+            return None
+        gateway = FccGateway(self.rng)
+        hourly, hours = gateway.hourly_rates_with_hours(series)
+        up_hourly = gateway.hourly_upload_rates(series)
+        # Gateways see bytes, not applications: no BitTorrent visibility.
+        return hourly, np.zeros(hourly.size, dtype=bool), hours, up_hourly
+
+    def _observe_year(
+        self,
+        user: LatentUser,
+        path: NetworkPath,
+        network: NetworkId,
+        year_index: int,
+        data_cap_gb: float | None,
+        keep_trace: bool = False,
+    ) -> _YearOutcome | None:
+        config = self.config
+        year_start = year_index * _DAYS_PER_YEAR
+        max_offset = max(1.0, _DAYS_PER_YEAR - config.days_per_year - 1.0)
+        start_day = year_start + float(self.rng.uniform(0.0, max_offset))
+        end_day = start_day + config.days_per_year
+
+        demand = self._demand_process(user, path, data_cap_gb)
+        series = generate_usage_series(
+            demand,
+            config.days_per_year,
+            config.sample_interval_s,
+            self.rng,
+            start_hour=float(self.rng.uniform(0.0, 24.0)),
+        )
+        collected = self._collect_usage(series)
+        if collected is None:
+            return None
+        rates, bt_flags, hours, up_rates = collected
+        with_bt = demand_summary(rates)
+        no_bt_rates = rates[~bt_flags]
+        no_bt = demand_summary(no_bt_rates) if no_bt_rates.size else with_bt
+        up_summary = (
+            demand_summary(up_rates)
+            if up_rates is not None and up_rates.size
+            else None
+        )
+
+        tests = self.ndt.run_tests(
+            path,
+            config.ndt_tests_per_period,
+            (start_day, end_day),
+            typical_cross_traffic_mbps=with_bt.mean_mbps,
+        )
+        capacity = max(t.download_mbps for t in tests)
+        capacity_up = max(t.upload_mbps for t in tests)
+        latency = float(np.mean([t.rtt_ms for t in tests]))
+        loss = float(np.mean([t.loss_fraction for t in tests]))
+
+        period = ServicePeriod(
+            user_id=user.user_id,
+            network=network,
+            start_day=start_day,
+            end_day=end_day,
+            capacity_mbps=capacity,
+            mean_mbps=with_bt.mean_mbps,
+            peak_mbps=with_bt.peak_mbps,
+            mean_no_bt_mbps=no_bt.mean_mbps,
+            peak_no_bt_mbps=no_bt.peak_mbps,
+        )
+        observation = PeriodObservation(
+            period=period,
+            latency_ms=latency,
+            loss_fraction=loss,
+            capacity_up_mbps=capacity_up,
+            n_ndt_tests=len(tests),
+            n_usage_samples=int(rates.size),
+            hourly_mean_mbps=hourly_profile(rates, hours),
+            mean_up_mbps=None if up_summary is None else up_summary.mean_mbps,
+            peak_up_mbps=None if up_summary is None else up_summary.peak_mbps,
+        )
+        trace = None
+        if keep_trace:
+            trace = UsageTrace(
+                user_id=user.user_id,
+                year=2011 + year_index,
+                interval_s=(
+                    config.sample_interval_s
+                    if self.source == "dasu"
+                    else 3600.0
+                ),
+                rates_mbps=rates,
+                bt_active=bt_flags,
+                hours=hours,
+                up_rates_mbps=up_rates,
+            )
+        return _YearOutcome(
+            observation=observation,
+            measured_peak_utilization=min(1.0, no_bt.peak_mbps / capacity),
+            trace=trace,
+        )
+
+    # -- a full household ---------------------------------------------------
+
+    def _observed_year_range(self) -> tuple[int, int]:
+        """(first, last) observed year indexes for one panel member.
+
+        Real measurement panels churn: vantage points join and leave. A
+        member enters in year 0 with probability ~0.55 (later otherwise)
+        and drops out with ~12% probability per subsequent year. Churn is
+        what keeps the per-class population composition stationary in the
+        longitudinal analysis: fresh low-demand subscribers keep arriving
+        while grown households move up and out of their old class.
+        """
+        n_years = len(self.config.years)
+        roll = self.rng.random()
+        if n_years == 1 or roll < 0.55:
+            entry = 0
+        elif n_years == 2 or roll < 0.80:
+            entry = 1
+        else:
+            entry = 2
+        exit_index = entry
+        while exit_index + 1 < n_years and self.rng.random() >= 0.12:
+            exit_index += 1
+        return entry, exit_index
+
+    def simulate_user(
+        self, user_id: str
+    ) -> tuple[UserRecord, LatentUser, tuple[UsageTrace, ...]] | None:
+        keep_traces = (
+            self.config.trace_user_fraction > 0.0
+            and self.rng.random() < self.config.trace_user_fraction
+        )
+        household_market = self._household_market()
+        drawn = self._draw_subscriber(user_id, household_market)
+        if drawn is None:
+            return None
+        user, plan = drawn
+        original_user = user
+        link = self._provision(plan)
+        path = self._path_for(link, previous=None)
+        network = self.planner.home_network(plan.isp)
+        entry_year, exit_year = self._observed_year_range()
+
+        # Demand growth is a single episode (see PopulationModel): pick
+        # the year after which the grower's need jumps.
+        is_grower = (
+            self.config.demand_growth_enabled and user.yearly_need_growth > 1.0
+        )
+        growth_year = (
+            int(self.rng.integers(entry_year, exit_year + 1))
+            if is_grower and exit_year > entry_year
+            else None
+        )
+
+        observations: list[PeriodObservation] = []
+        traces: list[UsageTrace] = []
+        for year_index in range(entry_year, exit_year + 1):
+            outcome = self._observe_year(
+                user, path, network, year_index, plan.data_cap_gb,
+                keep_trace=keep_traces,
+            )
+            if outcome is not None:
+                observations.append(outcome.observation)
+                if outcome.trace is not None:
+                    traces.append(outcome.trace)
+
+            if year_index == exit_year:
+                break
+            need_grew = growth_year is not None and year_index == growth_year
+            utilization = (
+                outcome.measured_peak_utilization if outcome else 0.0
+            )
+            if need_grew:
+                ratio = user.yearly_need_growth
+                user = user.grown()
+                utilization = min(1.0, utilization * ratio)
+            decision = self.upgrade_policy.review(
+                user,
+                household_market,
+                plan.download_mbps,
+                utilization,
+                self.rng,
+                promoted_tier_mbps=self.profile.promoted_tier_mbps,
+                promoted_adoption=self.profile.promoted_adoption,
+                need_grew=need_grew,
+            )
+            if decision.switched and decision.choice is not None:
+                plan = decision.choice.plan
+                link = self._provision(plan)
+                moved = decision.reason == "moved"
+                path = self._path_for(link, None if moved else path)
+                network = self.planner.switched_network(network)
+
+        if not observations:
+            return None
+
+        web_latency = None
+        ndt_2014 = None
+        if self.rng.random() < self.config.web_probe_fraction:
+            web_latency = self.web_prober.median_latency_ms(path)
+            followup = self.ndt.run_tests(path, 4, (0.0, 30.0))
+            ndt_2014 = float(np.mean([t.rtt_ms for t in followup]))
+
+        vantage = "gateway"
+        if self.source == "dasu":
+            vantage = "upnp" if self.rng.random() < 0.55 else "direct"
+        record = UserRecord(
+            user_id=user_id,
+            source=self.source,
+            country=self.profile.name,
+            region=self.profile.region.value,
+            development=self.profile.development.value,
+            vantage=vantage,
+            technology=link.technology.value,
+            bt_user=user.bt_user,
+            observations=tuple(observations),
+            price_of_access_usd=self.market.price_of_access(),
+            upgrade_cost_usd_per_mbps=self.market.upgrade_cost_usd_per_mbps,
+            gdp_per_capita_usd=self.market.economy.gdp_per_capita_ppp_usd,
+            plan_data_cap_gb=plan.data_cap_gb,
+            web_latency_ms=web_latency,
+            ndt_2014_latency_ms=ndt_2014,
+        )
+        return record, original_user, tuple(traces)
+
+
+def build_world(config: WorldConfig | None = None) -> World:
+    """Build a complete synthetic world from a configuration."""
+    if config is None:
+        config = WorldConfig()
+
+    market_rng = np.random.default_rng([config.seed, 1])
+    profiles = build_profiles(
+        market_rng, include_synthetic=config.include_synthetic_countries
+    )
+    profile_map = {p.name: p for p in profiles}
+    survey = generate_survey(profiles, market_rng)
+
+    weights = np.array([p.dasu_user_weight for p in profiles], dtype=float)
+    dasu_counts = _allocate_counts(weights, config.n_dasu_users)
+
+    dasu_users: list[UserRecord] = []
+    fcc_users: list[UserRecord] = []
+    ground_truth: dict[str, LatentUser] = {}
+    traces: dict[str, tuple[UsageTrace, ...]] = {}
+
+    for country_index, profile in enumerate(profiles):
+        count = int(dasu_counts[country_index])
+        if count == 0:
+            continue
+        rng = np.random.default_rng([config.seed, 2, country_index])
+        simulator = _CountrySimulator(
+            profile, survey.market(profile.name), config, rng, source="dasu"
+        )
+        for i in range(count):
+            result = simulator.simulate_user(
+                f"dasu-{profile.name}-{i:05d}"
+            )
+            if result is None:
+                continue
+            record, latent, user_traces = result
+            dasu_users.append(record)
+            ground_truth[record.user_id] = latent
+            if user_traces:
+                traces[record.user_id] = user_traces
+
+    if config.n_fcc_users > 0:
+        if "US" not in profile_map:
+            raise DatasetError("the FCC panel requires a US market")
+        rng = np.random.default_rng([config.seed, 3])
+        simulator = _CountrySimulator(
+            profile_map["US"], survey.market("US"), config, rng, source="fcc"
+        )
+        for i in range(config.n_fcc_users):
+            result = simulator.simulate_user(f"fcc-US-{i:05d}")
+            if result is None:
+                continue
+            record, latent, user_traces = result
+            fcc_users.append(record)
+            ground_truth[record.user_id] = latent
+            if user_traces:
+                traces[record.user_id] = user_traces
+
+    return World(
+        config=config,
+        profiles=profile_map,
+        survey=survey,
+        dasu=DasuDataset(users=tuple(dasu_users)),
+        fcc=FccDataset(users=tuple(fcc_users)),
+        ground_truth=ground_truth,
+        traces=traces,
+    )

@@ -1,0 +1,319 @@
+"""CSV/JSON persistence for generated datasets.
+
+The on-disk layout mirrors how a real measurement study would publish its
+cleaned data:
+
+* ``users.csv`` — one row per (user, service period) with the user-level
+  covariates repeated, like a denormalized release;
+* ``plans.csv`` — the retail-plan survey;
+* ``config.json`` — the world configuration, for provenance.
+
+Round-tripping through :func:`write_users_csv` / :func:`read_users_csv`
+reconstructs equivalent :class:`~repro.datasets.records.UserRecord`
+objects (extras and 2014 follow-up fields included).
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Sequence
+
+from ..core.upgrades import NetworkId, ServicePeriod
+from ..exceptions import DatasetError
+from ..market.survey import PlanSurvey
+from .records import PeriodObservation, UserRecord
+from .world import WorldConfig
+
+__all__ = [
+    "read_config_json",
+    "read_survey_csv",
+    "read_users_csv",
+    "write_config_json",
+    "write_plans_csv",
+    "write_survey_csv",
+    "write_users_csv",
+]
+
+_USER_FIELDS = [
+    "user_id", "source", "country", "region", "development", "vantage",
+    "technology", "bt_user", "price_of_access_usd",
+    "upgrade_cost_usd_per_mbps", "gdp_per_capita_usd",
+    "plan_data_cap_gb", "web_latency_ms", "ndt_2014_latency_ms",
+]
+_PERIOD_FIELDS = [
+    "isp", "prefix", "city", "start_day", "end_day", "capacity_mbps",
+    "mean_mbps", "peak_mbps", "mean_no_bt_mbps", "peak_no_bt_mbps",
+    "latency_ms", "loss_fraction", "capacity_up_mbps", "n_ndt_tests",
+    "n_usage_samples", "hourly_mean_mbps", "mean_up_mbps", "peak_up_mbps",
+]
+
+
+def _encode_profile(profile: tuple[float, ...] | None) -> str:
+    """Semicolon-joined 24-hour profile; empty when absent."""
+    if profile is None:
+        return ""
+    return ";".join(f"{v:.6g}" for v in profile)
+
+
+def _decode_profile(text: str) -> tuple[float, ...] | None:
+    if not text:
+        return None
+    values = tuple(float(v) for v in text.split(";"))
+    if len(values) != 24:
+        raise DatasetError("hourly profile must have 24 entries")
+    return values
+
+
+def _optional(value: str) -> float | None:
+    return None if value == "" else float(value)
+
+
+def write_users_csv(users: Sequence[UserRecord], path: str | Path) -> int:
+    """Write user records (one row per service period); returns row count."""
+    path = Path(path)
+    n_rows = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_USER_FIELDS + _PERIOD_FIELDS)
+        for user in users:
+            base = [
+                user.user_id, user.source, user.country, user.region,
+                user.development, user.vantage, user.technology,
+                int(user.bt_user),
+                "" if user.price_of_access_usd is None else user.price_of_access_usd,
+                "" if user.upgrade_cost_usd_per_mbps is None else user.upgrade_cost_usd_per_mbps,
+                user.gdp_per_capita_usd,
+                "" if user.plan_data_cap_gb is None else user.plan_data_cap_gb,
+                "" if user.web_latency_ms is None else user.web_latency_ms,
+                "" if user.ndt_2014_latency_ms is None else user.ndt_2014_latency_ms,
+            ]
+            for obs in user.observations:
+                p = obs.period
+                writer.writerow(
+                    base
+                    + [
+                        p.network.isp, p.network.prefix, p.network.city,
+                        p.start_day, p.end_day, p.capacity_mbps,
+                        p.mean_mbps, p.peak_mbps, p.mean_no_bt_mbps,
+                        p.peak_no_bt_mbps, obs.latency_ms,
+                        obs.loss_fraction, obs.capacity_up_mbps,
+                        obs.n_ndt_tests, obs.n_usage_samples,
+                        _encode_profile(obs.hourly_mean_mbps),
+                        "" if obs.mean_up_mbps is None else obs.mean_up_mbps,
+                        "" if obs.peak_up_mbps is None else obs.peak_up_mbps,
+                    ]
+                )
+                n_rows += 1
+    return n_rows
+
+
+def read_users_csv(path: str | Path) -> list[UserRecord]:
+    """Read user records written by :func:`write_users_csv`."""
+    path = Path(path)
+    grouped: dict[str, dict] = {}
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        expected = set(_USER_FIELDS + _PERIOD_FIELDS)
+        if reader.fieldnames is None or set(reader.fieldnames) != expected:
+            raise DatasetError(f"{path}: unexpected columns")
+        for row in reader:
+            entry = grouped.setdefault(
+                row["user_id"], {"row": row, "observations": []}
+            )
+            period = ServicePeriod(
+                user_id=row["user_id"],
+                network=NetworkId(row["isp"], row["prefix"], row["city"]),
+                start_day=float(row["start_day"]),
+                end_day=float(row["end_day"]),
+                capacity_mbps=float(row["capacity_mbps"]),
+                mean_mbps=float(row["mean_mbps"]),
+                peak_mbps=float(row["peak_mbps"]),
+                mean_no_bt_mbps=float(row["mean_no_bt_mbps"]),
+                peak_no_bt_mbps=float(row["peak_no_bt_mbps"]),
+            )
+            entry["observations"].append(
+                PeriodObservation(
+                    period=period,
+                    latency_ms=float(row["latency_ms"]),
+                    loss_fraction=float(row["loss_fraction"]),
+                    capacity_up_mbps=float(row["capacity_up_mbps"]),
+                    n_ndt_tests=int(row["n_ndt_tests"]),
+                    n_usage_samples=int(row["n_usage_samples"]),
+                    hourly_mean_mbps=_decode_profile(row["hourly_mean_mbps"]),
+                    mean_up_mbps=_optional(row["mean_up_mbps"]),
+                    peak_up_mbps=_optional(row["peak_up_mbps"]),
+                )
+            )
+    users = []
+    for entry in grouped.values():
+        row = entry["row"]
+        observations = sorted(
+            entry["observations"], key=lambda o: o.period.start_day
+        )
+        users.append(
+            UserRecord(
+                user_id=row["user_id"],
+                source=row["source"],
+                country=row["country"],
+                region=row["region"],
+                development=row["development"],
+                vantage=row["vantage"],
+                technology=row["technology"],
+                bt_user=bool(int(row["bt_user"])),
+                observations=tuple(observations),
+                price_of_access_usd=_optional(row["price_of_access_usd"]),
+                upgrade_cost_usd_per_mbps=_optional(
+                    row["upgrade_cost_usd_per_mbps"]
+                ),
+                gdp_per_capita_usd=float(row["gdp_per_capita_usd"]),
+                plan_data_cap_gb=_optional(row["plan_data_cap_gb"]),
+                web_latency_ms=_optional(row["web_latency_ms"]),
+                ndt_2014_latency_ms=_optional(row["ndt_2014_latency_ms"]),
+            )
+        )
+    return sorted(users, key=lambda u: u.user_id)
+
+
+def write_plans_csv(survey: PlanSurvey, path: str | Path) -> int:
+    """Write the retail-plan survey; returns the number of plan rows."""
+    path = Path(path)
+    n_rows = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "country", "isp", "name", "download_mbps", "upload_mbps",
+                "monthly_price_local", "currency", "monthly_price_usd_ppp",
+                "technology", "data_cap_gb", "dedicated",
+            ]
+        )
+        for plan in survey.all_plans():
+            writer.writerow(
+                [
+                    plan.country, plan.isp, plan.name, plan.download_mbps,
+                    plan.upload_mbps, plan.monthly_price_local,
+                    plan.currency.code, plan.monthly_price_usd_ppp,
+                    plan.technology.value,
+                    "" if plan.data_cap_gb is None else plan.data_cap_gb,
+                    int(plan.dedicated),
+                ]
+            )
+            n_rows += 1
+    return n_rows
+
+
+_SURVEY_FIELDS = [
+    "country", "region", "development", "gdp_per_capita_ppp_usd",
+    "internet_penetration", "currency_code", "units_per_usd",
+    "ppp_market_ratio", "isp", "name", "download_mbps", "upload_mbps",
+    "monthly_price_local", "technology", "data_cap_gb", "dedicated",
+]
+
+
+def write_survey_csv(survey: PlanSurvey, path: str | Path) -> int:
+    """Write the full survey (plans plus the economies needed to rebuild
+    the markets); returns the number of plan rows.
+
+    Unlike :func:`write_plans_csv` (a flat export), this format
+    round-trips through :func:`read_survey_csv`.
+    """
+    path = Path(path)
+    n_rows = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_SURVEY_FIELDS)
+        for country in survey.countries:
+            market = survey.markets[country]
+            economy = market.economy
+            for plan in market.plans:
+                writer.writerow(
+                    [
+                        country, economy.region.value,
+                        economy.development.value,
+                        economy.gdp_per_capita_ppp_usd,
+                        economy.internet_penetration,
+                        plan.currency.code, plan.currency.units_per_usd,
+                        plan.currency.ppp_market_ratio, plan.isp,
+                        plan.name, plan.download_mbps, plan.upload_mbps,
+                        plan.monthly_price_local, plan.technology.value,
+                        "" if plan.data_cap_gb is None else plan.data_cap_gb,
+                        int(plan.dedicated),
+                    ]
+                )
+                n_rows += 1
+    return n_rows
+
+
+def read_survey_csv(path: str | Path) -> PlanSurvey:
+    """Rebuild a :class:`PlanSurvey` written by :func:`write_survey_csv`."""
+    from ..market.currency import Currency
+    from ..market.economy import DevelopmentLevel, Economy, Region
+    from ..market.market import CountryMarket
+    from ..market.plans import BroadbandPlan, PlanTechnology
+
+    path = Path(path)
+    grouped: dict[str, dict] = {}
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or set(reader.fieldnames) != set(
+            _SURVEY_FIELDS
+        ):
+            raise DatasetError(f"{path}: unexpected survey columns")
+        for row in reader:
+            entry = grouped.setdefault(
+                row["country"], {"row": row, "plans": []}
+            )
+            currency = Currency(
+                code=row["currency_code"],
+                units_per_usd=float(row["units_per_usd"]),
+                ppp_market_ratio=float(row["ppp_market_ratio"]),
+            )
+            entry["plans"].append(
+                BroadbandPlan(
+                    country=row["country"],
+                    isp=row["isp"],
+                    name=row["name"],
+                    download_mbps=float(row["download_mbps"]),
+                    upload_mbps=float(row["upload_mbps"]),
+                    monthly_price_local=float(row["monthly_price_local"]),
+                    currency=currency,
+                    technology=PlanTechnology(row["technology"]),
+                    data_cap_gb=_optional(row["data_cap_gb"]),
+                    dedicated=bool(int(row["dedicated"])),
+                )
+            )
+    markets = {}
+    for country, entry in grouped.items():
+        row = entry["row"]
+        economy = Economy(
+            country=country,
+            region=Region(row["region"]),
+            development=DevelopmentLevel(row["development"]),
+            gdp_per_capita_ppp_usd=float(row["gdp_per_capita_ppp_usd"]),
+            currency=entry["plans"][0].currency,
+            internet_penetration=float(row["internet_penetration"]),
+        )
+        markets[country] = CountryMarket(
+            economy=economy, plans=tuple(entry["plans"])
+        )
+    return PlanSurvey(markets=markets)
+
+
+def write_config_json(config: WorldConfig, path: str | Path) -> None:
+    """Persist a world configuration for provenance."""
+    payload = dataclasses.asdict(config)
+    payload["years"] = list(config.years)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def read_config_json(path: str | Path) -> WorldConfig:
+    """Load a world configuration written by :func:`write_config_json`."""
+    payload = json.loads(Path(path).read_text())
+    payload["years"] = tuple(payload["years"])
+    try:
+        return WorldConfig(**payload)
+    except TypeError as exc:
+        raise DatasetError(f"{path}: not a world config ({exc})") from None

@@ -1,0 +1,114 @@
+"""Raw usage traces: the per-sample data behind the summary records.
+
+Real studies publish cleaned summaries but keep raw counter traces for a
+subset of vantage points. Setting ``WorldConfig.trace_user_fraction``
+above zero makes the builder retain, for a random subset of users, the
+exact collected samples (rates, BitTorrent flags, local hours, uplink
+rates) that produced each period's summaries — so any published summary
+can be re-derived and audited from its raw trace.
+
+Traces persist to a single ``.npz`` archive via :func:`write_traces_npz`
+/ :func:`read_traces_npz`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.metrics import DemandSummary, demand_summary
+from ..exceptions import DatasetError
+
+__all__ = ["UsageTrace", "read_traces_npz", "write_traces_npz"]
+
+
+@dataclass(frozen=True)
+class UsageTrace:
+    """The collected samples of one user's observed year."""
+
+    user_id: str
+    year: int
+    interval_s: float
+    rates_mbps: np.ndarray
+    bt_active: np.ndarray
+    hours: np.ndarray
+    up_rates_mbps: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if not (
+            self.rates_mbps.shape == self.bt_active.shape == self.hours.shape
+        ):
+            raise DatasetError("trace arrays must align")
+        if (
+            self.up_rates_mbps is not None
+            and self.up_rates_mbps.shape != self.rates_mbps.shape
+        ):
+            raise DatasetError("uplink trace must align")
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.rates_mbps.size)
+
+    def summary(self, include_bt: bool = True) -> DemandSummary:
+        """Re-derive the demand summary from the raw samples."""
+        if include_bt:
+            return demand_summary(self.rates_mbps)
+        rates = self.rates_mbps[~self.bt_active]
+        if rates.size == 0:
+            return demand_summary(self.rates_mbps)
+        return demand_summary(rates)
+
+
+def write_traces_npz(
+    traces: Mapping[str, Sequence[UsageTrace]], path: str | Path
+) -> int:
+    """Persist traces to one compressed archive; returns trace count."""
+    arrays: dict[str, np.ndarray] = {}
+    count = 0
+    for user_id, user_traces in traces.items():
+        for trace in user_traces:
+            key = f"{user_id}|{trace.year}"
+            if f"{key}|rates" in arrays:
+                raise DatasetError(f"duplicate trace for {key}")
+            arrays[f"{key}|rates"] = trace.rates_mbps
+            arrays[f"{key}|bt"] = trace.bt_active
+            arrays[f"{key}|hours"] = trace.hours
+            arrays[f"{key}|meta"] = np.array([trace.interval_s])
+            if trace.up_rates_mbps is not None:
+                arrays[f"{key}|up"] = trace.up_rates_mbps
+            count += 1
+    np.savez_compressed(Path(path), **arrays)
+    return count
+
+
+def read_traces_npz(path: str | Path) -> dict[str, list[UsageTrace]]:
+    """Load traces written by :func:`write_traces_npz`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        keys = sorted(k for k in archive.files if k.endswith("|rates"))
+        out: dict[str, list[UsageTrace]] = {}
+        for rates_key in keys:
+            prefix = rates_key[: -len("|rates")]
+            try:
+                user_id, year_text = prefix.split("|")
+            except ValueError:
+                raise DatasetError(f"{path}: malformed trace key {prefix!r}")
+            up_key = f"{prefix}|up"
+            trace = UsageTrace(
+                user_id=user_id,
+                year=int(year_text),
+                interval_s=float(archive[f"{prefix}|meta"][0]),
+                rates_mbps=archive[rates_key],
+                bt_active=archive[f"{prefix}|bt"].astype(bool),
+                hours=archive[f"{prefix}|hours"],
+                up_rates_mbps=(
+                    archive[up_key] if up_key in archive.files else None
+                ),
+            )
+            out.setdefault(user_id, []).append(trace)
+    for user_traces in out.values():
+        user_traces.sort(key=lambda t: t.year)
+    return out

@@ -1,0 +1,107 @@
+"""World configuration and containers.
+
+A :class:`WorldConfig` fully determines a synthetic world (markets,
+populations, measurements) through a single seed. The mechanism switches
+(``price_selection_enabled``, ``quality_suppression_enabled``,
+``demand_growth_enabled``) exist for the ablation benchmarks: disabling a
+causal mechanism must make the corresponding natural experiment collapse
+to chance, which validates that the analysis pipeline does not
+manufacture effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..behavior.population import LatentUser
+from ..exceptions import DatasetError
+from ..market.countries import CountryProfile
+from ..market.survey import PlanSurvey
+from .records import UserRecord
+
+__all__ = ["DasuDataset", "FccDataset", "World", "WorldConfig"]
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """All the knobs of a synthetic world."""
+
+    seed: int = 20141105  # the paper's presentation date
+    n_dasu_users: int = 8000
+    n_fcc_users: int = 1500
+    years: tuple[int, ...] = (2011, 2012, 2013)
+    days_per_year: float = 2.0
+    sample_interval_s: float = 30.0
+    include_synthetic_countries: bool = True
+    ndt_tests_per_period: int = 10
+    web_probe_fraction: float = 0.6
+    max_candidate_draws: int = 60
+    #: Share of households whose address limits the plans actually
+    #: available to them (rural DSL, unserved streets). Constrained
+    #: households sit on slow tiers regardless of need — the reason low
+    #: tiers run hot even in cheap markets (Fig. 8a).
+    address_constraint_rate: float = 0.12
+    #: Share of users whose raw collected samples are retained as
+    #: auditable traces (see :mod:`repro.datasets.traces`).
+    trace_user_fraction: float = 0.0
+    # Mechanism switches (for ablation studies).
+    price_selection_enabled: bool = True
+    quality_suppression_enabled: bool = True
+    demand_growth_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_dasu_users < 0 or self.n_fcc_users < 0:
+            raise DatasetError("user counts cannot be negative")
+        if not self.years or tuple(sorted(self.years)) != tuple(self.years):
+            raise DatasetError("years must be a non-empty ascending tuple")
+        if self.days_per_year <= 0 or self.sample_interval_s <= 0:
+            raise DatasetError("observation window must be positive")
+        if self.ndt_tests_per_period < 1:
+            raise DatasetError("need at least one NDT test per period")
+        if not 0.0 <= self.web_probe_fraction <= 1.0:
+            raise DatasetError("web probe fraction must be a fraction")
+        if not 0.0 <= self.address_constraint_rate <= 1.0:
+            raise DatasetError("address constraint rate must be a fraction")
+        if not 0.0 <= self.trace_user_fraction <= 1.0:
+            raise DatasetError("trace fraction must be a fraction")
+
+
+@dataclass(frozen=True)
+class DasuDataset:
+    """The simulated Dasu dataset: global, end-host collected."""
+
+    users: tuple[UserRecord, ...]
+
+    def by_country(self, country: str) -> tuple[UserRecord, ...]:
+        return tuple(u for u in self.users if u.country == country)
+
+    @property
+    def countries(self) -> tuple[str, ...]:
+        return tuple(sorted({u.country for u in self.users}))
+
+
+@dataclass(frozen=True)
+class FccDataset:
+    """The simulated FCC/SamKnows dataset: US-only, gateway collected."""
+
+    users: tuple[UserRecord, ...]
+
+
+@dataclass(frozen=True)
+class World:
+    """A fully built synthetic world."""
+
+    config: WorldConfig
+    profiles: Mapping[str, CountryProfile]
+    survey: PlanSurvey
+    dasu: DasuDataset
+    fcc: FccDataset
+    ground_truth: Mapping[str, LatentUser] = field(repr=False)
+    #: Raw collected traces for the sampled subset of users (empty unless
+    #: ``config.trace_user_fraction`` > 0).
+    traces: Mapping[str, tuple] = field(default_factory=dict, repr=False)
+
+    @property
+    def all_users(self) -> tuple[UserRecord, ...]:
+        return self.dasu.users + self.fcc.users

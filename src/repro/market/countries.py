@@ -1,0 +1,906 @@
+"""Country market profiles: real anchors plus synthetic fill.
+
+The paper's analyses name a set of real markets (US, Japan, Botswana,
+Saudi Arabia, India, Germany, Hong Kong, South Korea, Canada, Ghana,
+Uganda, Afghanistan, Paraguay, Ivory Coast, China, Mexico, New Zealand,
+the Philippines, Iran). We encode those as **anchor profiles** whose
+market shape matches the numbers the paper reports (Table 4's typical
+prices, Fig. 10's cost-to-upgrade placements, Sec. 7's India quality
+profile), then fill each region with synthetic countries whose parameters
+are drawn from region-level distributions calibrated to Table 5's
+regional cost-of-upgrade shares.
+
+Every draw flows from a caller-provided :class:`numpy.random.Generator`,
+so a world seed reproduces the same survey byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+import numpy as np
+
+from ..exceptions import MarketError
+from .currency import Currency
+from .economy import DevelopmentLevel, Economy, Region
+from .plans import PlanTechnology
+
+__all__ = [
+    "ANCHOR_PROFILES",
+    "CASE_STUDY_COUNTRIES",
+    "CountryProfile",
+    "build_profiles",
+    "synthesize_profiles",
+]
+
+#: The four markets of the paper's Sec. 5 case study.
+CASE_STUDY_COUNTRIES = ("Botswana", "Saudi Arabia", "US", "Japan")
+
+
+@dataclass(frozen=True)
+class CountryProfile:
+    """Everything needed to synthesize one country's market and users.
+
+    Market-shape fields (``base_price_usd``, ``upgrade_slope_usd``,
+    capacity range, plan count) drive the retail-plan generator; network
+    fields (``tech_mix``, ``extra_latency_ms``, ``loss_multiplier``) drive
+    the access-network simulator; ``dasu_user_weight`` sets the country's
+    share of the simulated Dasu population.
+    """
+
+    name: str
+    region: Region
+    development: DevelopmentLevel
+    gdp_per_capita_ppp: float
+    currency_code: str
+    units_per_usd: float
+    ppp_market_ratio: float
+    internet_penetration: float
+    # Market shape.
+    base_price_usd: float
+    upgrade_slope_usd: float
+    min_capacity_mbps: float
+    max_capacity_mbps: float
+    n_plans: int
+    price_noise: float
+    oddball_plan_rate: float
+    promoted_tier_mbps: float | None
+    promoted_adoption: float
+    # Network quality.
+    tech_mix: Mapping[PlanTechnology, float] = field(default_factory=dict)
+    extra_latency_ms: float = 20.0
+    loss_multiplier: float = 1.0
+    # Population.
+    dasu_user_weight: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.base_price_usd <= 0 or self.upgrade_slope_usd < 0:
+            raise MarketError(f"{self.name}: invalid market shape")
+        if not 0 < self.min_capacity_mbps <= self.max_capacity_mbps:
+            raise MarketError(f"{self.name}: invalid capacity range")
+        if self.n_plans < 2:
+            raise MarketError(f"{self.name}: a market needs >= 2 plans")
+        total = sum(self.tech_mix.values())
+        if self.tech_mix and abs(total - 1.0) > 1e-6:
+            raise MarketError(
+                f"{self.name}: tech mix sums to {total}, expected 1"
+            )
+
+    @property
+    def currency(self) -> Currency:
+        return Currency(
+            code=self.currency_code,
+            units_per_usd=self.units_per_usd,
+            ppp_market_ratio=self.ppp_market_ratio,
+        )
+
+    def economy(self) -> Economy:
+        return Economy(
+            country=self.name,
+            region=self.region,
+            development=self.development,
+            gdp_per_capita_ppp_usd=self.gdp_per_capita_ppp,
+            currency=self.currency,
+            internet_penetration=self.internet_penetration,
+        )
+
+
+_DEVELOPED_MIX: dict[PlanTechnology, float] = {
+    PlanTechnology.FIBER: 0.22,
+    PlanTechnology.CABLE: 0.36,
+    PlanTechnology.DSL: 0.35,
+    PlanTechnology.WIRELESS: 0.045,
+    PlanTechnology.SATELLITE: 0.025,
+}
+
+_FIBER_HEAVY_MIX: dict[PlanTechnology, float] = {
+    PlanTechnology.FIBER: 0.62,
+    PlanTechnology.CABLE: 0.18,
+    PlanTechnology.DSL: 0.17,
+    PlanTechnology.WIRELESS: 0.025,
+    PlanTechnology.SATELLITE: 0.005,
+}
+
+_DEVELOPING_MIX: dict[PlanTechnology, float] = {
+    PlanTechnology.FIBER: 0.03,
+    PlanTechnology.CABLE: 0.10,
+    PlanTechnology.DSL: 0.53,
+    PlanTechnology.WIRELESS: 0.24,
+    PlanTechnology.SATELLITE: 0.10,
+}
+
+_INDIA_MIX: dict[PlanTechnology, float] = {
+    PlanTechnology.FIBER: 0.02,
+    PlanTechnology.CABLE: 0.10,
+    PlanTechnology.DSL: 0.50,
+    PlanTechnology.WIRELESS: 0.33,
+    PlanTechnology.SATELLITE: 0.05,
+}
+
+
+def _anchor(**kwargs) -> CountryProfile:
+    # Anchor markets carry no oddball plans by default so their Fig. 10
+    # placement is stable (Afghanistan overrides this deliberately).
+    defaults = dict(
+        price_noise=0.08,
+        oddball_plan_rate=0.0,
+        promoted_tier_mbps=None,
+        promoted_adoption=0.0,
+        tech_mix=_DEVELOPED_MIX,
+        extra_latency_ms=20.0,
+        loss_multiplier=1.0,
+        dasu_user_weight=30.0,
+    )
+    defaults.update(kwargs)
+    return CountryProfile(**defaults)
+
+
+#: Hand-calibrated profiles for every market the paper names. Values are
+#: approximations of the paper-era (2011-2013) public figures; Table 4's
+#: four case-study rows are matched most carefully.
+ANCHOR_PROFILES: tuple[CountryProfile, ...] = (
+    _anchor(
+        name="US",
+        region=Region.NORTH_AMERICA,
+        development=DevelopmentLevel.DEVELOPED,
+        gdp_per_capita_ppp=49_797.0,
+        currency_code="USD",
+        units_per_usd=1.0,
+        ppp_market_ratio=1.0,
+        internet_penetration=0.81,
+        base_price_usd=20.0,
+        upgrade_slope_usd=0.62,
+        min_capacity_mbps=1.0,
+        max_capacity_mbps=150.0,
+        n_plans=20,
+        promoted_tier_mbps=18.0,
+        promoted_adoption=0.22,
+        extra_latency_ms=20.0,
+        dasu_user_weight=3759.0,
+    ),
+    _anchor(
+        name="Japan",
+        region=Region.ASIA,
+        development=DevelopmentLevel.DEVELOPED,
+        gdp_per_capita_ppp=34_532.0,
+        currency_code="JPY",
+        units_per_usd=98.0,
+        ppp_market_ratio=1.04,
+        internet_penetration=0.86,
+        base_price_usd=22.0,
+        upgrade_slope_usd=0.085,
+        min_capacity_mbps=8.0,
+        max_capacity_mbps=200.0,
+        n_plans=12,
+        price_noise=0.04,
+        promoted_tier_mbps=100.0,
+        promoted_adoption=0.30,
+        tech_mix=_FIBER_HEAVY_MIX,
+        extra_latency_ms=10.0,
+        dasu_user_weight=73.0,
+    ),
+    _anchor(
+        name="Botswana",
+        region=Region.AFRICA,
+        development=DevelopmentLevel.DEVELOPING,
+        gdp_per_capita_ppp=14_993.0,
+        currency_code="BWP",
+        units_per_usd=8.4,
+        ppp_market_ratio=0.52,
+        internet_penetration=0.12,
+        base_price_usd=150.0,
+        upgrade_slope_usd=55.0,
+        min_capacity_mbps=0.256,
+        max_capacity_mbps=4.0,
+        n_plans=6,
+        promoted_tier_mbps=0.512,
+        promoted_adoption=0.45,
+        tech_mix=_DEVELOPING_MIX,
+        extra_latency_ms=70.0,
+        loss_multiplier=3.0,
+        dasu_user_weight=67.0,
+    ),
+    _anchor(
+        name="Saudi Arabia",
+        region=Region.MIDDLE_EAST,
+        development=DevelopmentLevel.DEVELOPING,
+        gdp_per_capita_ppp=29_114.0,
+        currency_code="SAR",
+        units_per_usd=3.75,
+        ppp_market_ratio=0.58,
+        internet_penetration=0.60,
+        base_price_usd=62.0,
+        upgrade_slope_usd=6.5,
+        min_capacity_mbps=0.5,
+        max_capacity_mbps=20.0,
+        n_plans=8,
+        promoted_tier_mbps=4.0,
+        promoted_adoption=0.50,
+        tech_mix=_DEVELOPING_MIX,
+        extra_latency_ms=55.0,
+        loss_multiplier=1.8,
+        dasu_user_weight=120.0,
+    ),
+    _anchor(
+        name="India",
+        region=Region.ASIA,
+        development=DevelopmentLevel.DEVELOPING,
+        gdp_per_capita_ppp=5_050.0,
+        currency_code="INR",
+        units_per_usd=58.0,
+        ppp_market_ratio=0.32,
+        internet_penetration=0.15,
+        base_price_usd=67.0,
+        upgrade_slope_usd=0.7,
+        min_capacity_mbps=0.5,
+        max_capacity_mbps=50.0,
+        n_plans=14,
+        tech_mix=_INDIA_MIX,
+        extra_latency_ms=140.0,
+        loss_multiplier=30.0,
+        dasu_user_weight=170.0,
+    ),
+    _anchor(
+        name="Germany",
+        region=Region.EUROPE,
+        development=DevelopmentLevel.DEVELOPED,
+        gdp_per_capita_ppp=42_000.0,
+        currency_code="EUR",
+        units_per_usd=0.75,
+        ppp_market_ratio=1.02,
+        internet_penetration=0.84,
+        base_price_usd=20.0,
+        upgrade_slope_usd=0.5,
+        min_capacity_mbps=2.0,
+        max_capacity_mbps=100.0,
+        n_plans=12,
+        extra_latency_ms=25.0,
+        dasu_user_weight=180.0,
+    ),
+    _anchor(
+        name="Canada",
+        region=Region.NORTH_AMERICA,
+        development=DevelopmentLevel.DEVELOPED,
+        gdp_per_capita_ppp=42_500.0,
+        currency_code="CAD",
+        units_per_usd=1.03,
+        ppp_market_ratio=1.08,
+        internet_penetration=0.85,
+        base_price_usd=24.0,
+        upgrade_slope_usd=0.58,
+        min_capacity_mbps=1.0,
+        max_capacity_mbps=120.0,
+        n_plans=14,
+        extra_latency_ms=20.0,
+        dasu_user_weight=170.0,
+    ),
+    _anchor(
+        name="South Korea",
+        region=Region.ASIA,
+        development=DevelopmentLevel.DEVELOPED,
+        gdp_per_capita_ppp=32_800.0,
+        currency_code="KRW",
+        units_per_usd=1_095.0,
+        ppp_market_ratio=0.78,
+        internet_penetration=0.84,
+        base_price_usd=20.0,
+        upgrade_slope_usd=0.06,
+        min_capacity_mbps=10.0,
+        max_capacity_mbps=500.0,
+        n_plans=9,
+        promoted_tier_mbps=100.0,
+        promoted_adoption=0.40,
+        tech_mix=_FIBER_HEAVY_MIX,
+        extra_latency_ms=10.0,
+        dasu_user_weight=90.0,
+    ),
+    _anchor(
+        name="Hong Kong",
+        region=Region.ASIA,
+        development=DevelopmentLevel.DEVELOPED,
+        gdp_per_capita_ppp=51_000.0,
+        currency_code="HKD",
+        units_per_usd=7.76,
+        ppp_market_ratio=0.72,
+        internet_penetration=0.73,
+        base_price_usd=18.0,
+        upgrade_slope_usd=0.05,
+        min_capacity_mbps=10.0,
+        max_capacity_mbps=1000.0,
+        n_plans=8,
+        promoted_tier_mbps=100.0,
+        promoted_adoption=0.35,
+        tech_mix=_FIBER_HEAVY_MIX,
+        extra_latency_ms=12.0,
+        dasu_user_weight=55.0,
+    ),
+    _anchor(
+        name="Mexico",
+        region=Region.CENTRAL_AMERICA_CARIBBEAN,
+        development=DevelopmentLevel.DEVELOPING,
+        gdp_per_capita_ppp=16_500.0,
+        currency_code="MXN",
+        units_per_usd=12.8,
+        ppp_market_ratio=0.62,
+        internet_penetration=0.43,
+        base_price_usd=35.0,
+        upgrade_slope_usd=5.5,
+        min_capacity_mbps=1.0,
+        max_capacity_mbps=20.0,
+        n_plans=9,
+        tech_mix=_DEVELOPING_MIX,
+        extra_latency_ms=45.0,
+        loss_multiplier=1.6,
+        dasu_user_weight=160.0,
+    ),
+    _anchor(
+        name="New Zealand",
+        region=Region.OCEANIA,
+        development=DevelopmentLevel.DEVELOPED,
+        gdp_per_capita_ppp=32_000.0,
+        currency_code="NZD",
+        units_per_usd=1.22,
+        ppp_market_ratio=1.14,
+        internet_penetration=0.82,
+        base_price_usd=40.0,
+        upgrade_slope_usd=0.9,
+        min_capacity_mbps=1.0,
+        max_capacity_mbps=100.0,
+        n_plans=10,
+        extra_latency_ms=60.0,
+        dasu_user_weight=45.0,
+    ),
+    _anchor(
+        name="Philippines",
+        region=Region.ASIA,
+        development=DevelopmentLevel.DEVELOPING,
+        gdp_per_capita_ppp=6_300.0,
+        currency_code="PHP",
+        units_per_usd=42.0,
+        ppp_market_ratio=0.42,
+        internet_penetration=0.37,
+        base_price_usd=45.0,
+        upgrade_slope_usd=7.0,
+        min_capacity_mbps=0.5,
+        max_capacity_mbps=15.0,
+        n_plans=8,
+        tech_mix=_DEVELOPING_MIX,
+        extra_latency_ms=65.0,
+        loss_multiplier=2.5,
+        dasu_user_weight=110.0,
+    ),
+    _anchor(
+        name="Iran",
+        region=Region.MIDDLE_EAST,
+        development=DevelopmentLevel.DEVELOPING,
+        gdp_per_capita_ppp=16_200.0,
+        currency_code="IRR",
+        units_per_usd=24_800.0,
+        ppp_market_ratio=0.30,
+        internet_penetration=0.29,
+        base_price_usd=150.0,
+        upgrade_slope_usd=45.0,
+        min_capacity_mbps=0.25,
+        max_capacity_mbps=8.0,
+        n_plans=7,
+        tech_mix=_DEVELOPING_MIX,
+        extra_latency_ms=70.0,
+        loss_multiplier=2.2,
+        dasu_user_weight=110.0,
+    ),
+    _anchor(
+        name="Ghana",
+        region=Region.AFRICA,
+        development=DevelopmentLevel.DEVELOPING,
+        gdp_per_capita_ppp=3_900.0,
+        currency_code="GHS",
+        units_per_usd=1.95,
+        ppp_market_ratio=0.38,
+        internet_penetration=0.12,
+        base_price_usd=80.0,
+        upgrade_slope_usd=28.0,
+        min_capacity_mbps=0.25,
+        max_capacity_mbps=4.0,
+        n_plans=6,
+        tech_mix=_DEVELOPING_MIX,
+        extra_latency_ms=90.0,
+        loss_multiplier=3.5,
+        dasu_user_weight=35.0,
+    ),
+    _anchor(
+        name="Uganda",
+        region=Region.AFRICA,
+        development=DevelopmentLevel.DEVELOPING,
+        gdp_per_capita_ppp=1_700.0,
+        currency_code="UGX",
+        units_per_usd=2_580.0,
+        ppp_market_ratio=0.33,
+        internet_penetration=0.16,
+        base_price_usd=90.0,
+        upgrade_slope_usd=34.0,
+        min_capacity_mbps=0.25,
+        max_capacity_mbps=3.0,
+        n_plans=5,
+        tech_mix=_DEVELOPING_MIX,
+        extra_latency_ms=100.0,
+        loss_multiplier=4.0,
+        dasu_user_weight=25.0,
+    ),
+    _anchor(
+        name="Afghanistan",
+        region=Region.ASIA,
+        development=DevelopmentLevel.DEVELOPING,
+        gdp_per_capita_ppp=1_900.0,
+        currency_code="AFN",
+        units_per_usd=55.0,
+        ppp_market_ratio=0.31,
+        internet_penetration=0.06,
+        base_price_usd=100.0,
+        upgrade_slope_usd=40.0,
+        min_capacity_mbps=0.25,
+        max_capacity_mbps=2.0,
+        n_plans=6,
+        price_noise=0.15,
+        oddball_plan_rate=0.5,
+        tech_mix=_DEVELOPING_MIX,
+        extra_latency_ms=150.0,
+        loss_multiplier=4.5,
+        dasu_user_weight=12.0,
+    ),
+    _anchor(
+        name="Paraguay",
+        region=Region.SOUTH_AMERICA,
+        development=DevelopmentLevel.DEVELOPING,
+        gdp_per_capita_ppp=7_800.0,
+        currency_code="PYG",
+        units_per_usd=4_300.0,
+        ppp_market_ratio=0.40,
+        internet_penetration=0.36,
+        base_price_usd=95.0,
+        upgrade_slope_usd=120.0,
+        min_capacity_mbps=0.25,
+        max_capacity_mbps=2.0,
+        n_plans=5,
+        tech_mix=_DEVELOPING_MIX,
+        extra_latency_ms=75.0,
+        loss_multiplier=2.5,
+        dasu_user_weight=25.0,
+    ),
+    _anchor(
+        name="Ivory Coast",
+        region=Region.AFRICA,
+        development=DevelopmentLevel.DEVELOPING,
+        gdp_per_capita_ppp=2_900.0,
+        currency_code="XOF",
+        units_per_usd=494.0,
+        ppp_market_ratio=0.42,
+        internet_penetration=0.08,
+        base_price_usd=110.0,
+        upgrade_slope_usd=140.0,
+        min_capacity_mbps=0.25,
+        max_capacity_mbps=2.0,
+        n_plans=5,
+        tech_mix=_DEVELOPING_MIX,
+        extra_latency_ms=120.0,
+        loss_multiplier=3.5,
+        dasu_user_weight=15.0,
+    ),
+    _anchor(
+        name="China",
+        region=Region.ASIA,
+        development=DevelopmentLevel.DEVELOPING,
+        gdp_per_capita_ppp=11_500.0,
+        currency_code="CNY",
+        units_per_usd=6.2,
+        ppp_market_ratio=0.55,
+        internet_penetration=0.45,
+        base_price_usd=25.0,
+        upgrade_slope_usd=0.85,
+        min_capacity_mbps=1.0,
+        max_capacity_mbps=50.0,
+        n_plans=12,
+        tech_mix=_DEVELOPING_MIX,
+        extra_latency_ms=70.0,
+        loss_multiplier=2.0,
+        dasu_user_weight=220.0,
+    ),
+    _anchor(
+        name="UK",
+        region=Region.EUROPE,
+        development=DevelopmentLevel.DEVELOPED,
+        gdp_per_capita_ppp=36_000.0,
+        currency_code="GBP",
+        units_per_usd=0.64,
+        ppp_market_ratio=1.05,
+        internet_penetration=0.87,
+        base_price_usd=18.0,
+        upgrade_slope_usd=0.45,
+        min_capacity_mbps=2.0,
+        max_capacity_mbps=100.0,
+        n_plans=14,
+        extra_latency_ms=16.0,
+        dasu_user_weight=260.0,
+    ),
+    _anchor(
+        name="France",
+        region=Region.EUROPE,
+        development=DevelopmentLevel.DEVELOPED,
+        gdp_per_capita_ppp=36_100.0,
+        currency_code="EUR",
+        units_per_usd=0.75,
+        ppp_market_ratio=1.05,
+        internet_penetration=0.82,
+        base_price_usd=20.0,
+        upgrade_slope_usd=0.30,
+        min_capacity_mbps=2.0,
+        max_capacity_mbps=100.0,
+        n_plans=12,
+        extra_latency_ms=18.0,
+        dasu_user_weight=220.0,
+    ),
+    _anchor(
+        name="Italy",
+        region=Region.EUROPE,
+        development=DevelopmentLevel.DEVELOPED,
+        gdp_per_capita_ppp=33_100.0,
+        currency_code="EUR",
+        units_per_usd=0.75,
+        ppp_market_ratio=0.98,
+        internet_penetration=0.58,
+        base_price_usd=22.0,
+        upgrade_slope_usd=0.8,
+        min_capacity_mbps=2.0,
+        max_capacity_mbps=50.0,
+        n_plans=10,
+        extra_latency_ms=24.0,
+        dasu_user_weight=160.0,
+    ),
+    _anchor(
+        name="Spain",
+        region=Region.EUROPE,
+        development=DevelopmentLevel.DEVELOPED,
+        gdp_per_capita_ppp=31_000.0,
+        currency_code="EUR",
+        units_per_usd=0.75,
+        ppp_market_ratio=0.95,
+        internet_penetration=0.72,
+        base_price_usd=28.0,
+        upgrade_slope_usd=1.1,
+        min_capacity_mbps=1.0,
+        max_capacity_mbps=50.0,
+        n_plans=10,
+        extra_latency_ms=26.0,
+        dasu_user_weight=150.0,
+    ),
+    _anchor(
+        name="Sweden",
+        region=Region.EUROPE,
+        development=DevelopmentLevel.DEVELOPED,
+        gdp_per_capita_ppp=42_000.0,
+        currency_code="SEK",
+        units_per_usd=6.8,
+        ppp_market_ratio=1.25,
+        internet_penetration=0.93,
+        base_price_usd=20.0,
+        upgrade_slope_usd=0.25,
+        min_capacity_mbps=8.0,
+        max_capacity_mbps=250.0,
+        n_plans=10,
+        promoted_tier_mbps=100.0,
+        promoted_adoption=0.25,
+        tech_mix=_FIBER_HEAVY_MIX,
+        extra_latency_ms=18.0,
+        dasu_user_weight=90.0,
+    ),
+    _anchor(
+        name="Australia",
+        region=Region.OCEANIA,
+        development=DevelopmentLevel.DEVELOPED,
+        gdp_per_capita_ppp=42_600.0,
+        currency_code="AUD",
+        units_per_usd=0.97,
+        ppp_market_ratio=1.3,
+        internet_penetration=0.83,
+        base_price_usd=30.0,
+        upgrade_slope_usd=1.4,
+        min_capacity_mbps=1.0,
+        max_capacity_mbps=100.0,
+        n_plans=12,
+        extra_latency_ms=60.0,
+        dasu_user_weight=120.0,
+    ),
+    _anchor(
+        name="Brazil",
+        region=Region.SOUTH_AMERICA,
+        development=DevelopmentLevel.DEVELOPING,
+        gdp_per_capita_ppp=14_500.0,
+        currency_code="BRL",
+        units_per_usd=2.0,
+        ppp_market_ratio=0.55,
+        internet_penetration=0.49,
+        base_price_usd=35.0,
+        upgrade_slope_usd=6.0,
+        min_capacity_mbps=0.5,
+        max_capacity_mbps=15.0,
+        n_plans=10,
+        tech_mix=_DEVELOPING_MIX,
+        extra_latency_ms=60.0,
+        loss_multiplier=1.8,
+        dasu_user_weight=300.0,
+    ),
+    _anchor(
+        name="Russia",
+        region=Region.EUROPE,
+        development=DevelopmentLevel.DEVELOPING,
+        gdp_per_capita_ppp=23_500.0,
+        currency_code="RUB",
+        units_per_usd=31.0,
+        ppp_market_ratio=0.45,
+        internet_penetration=0.61,
+        base_price_usd=15.0,
+        upgrade_slope_usd=0.9,
+        min_capacity_mbps=1.0,
+        max_capacity_mbps=60.0,
+        n_plans=12,
+        tech_mix=_DEVELOPING_MIX,
+        extra_latency_ms=50.0,
+        loss_multiplier=1.4,
+        dasu_user_weight=200.0,
+    ),
+    _anchor(
+        name="Turkey",
+        region=Region.MIDDLE_EAST,
+        development=DevelopmentLevel.DEVELOPING,
+        gdp_per_capita_ppp=18_000.0,
+        currency_code="TRY",
+        units_per_usd=1.8,
+        ppp_market_ratio=0.55,
+        internet_penetration=0.45,
+        base_price_usd=25.0,
+        upgrade_slope_usd=3.0,
+        min_capacity_mbps=1.0,
+        max_capacity_mbps=20.0,
+        n_plans=9,
+        tech_mix=_DEVELOPING_MIX,
+        extra_latency_ms=45.0,
+        loss_multiplier=1.6,
+        dasu_user_weight=130.0,
+    ),
+    _anchor(
+        name="Indonesia",
+        region=Region.ASIA,
+        development=DevelopmentLevel.DEVELOPING,
+        gdp_per_capita_ppp=8_900.0,
+        currency_code="IDR",
+        units_per_usd=9_700.0,
+        ppp_market_ratio=0.35,
+        internet_penetration=0.15,
+        base_price_usd=40.0,
+        upgrade_slope_usd=8.0,
+        min_capacity_mbps=0.5,
+        max_capacity_mbps=10.0,
+        n_plans=8,
+        tech_mix=_DEVELOPING_MIX,
+        extra_latency_ms=80.0,
+        loss_multiplier=2.5,
+        dasu_user_weight=160.0,
+    ),
+    _anchor(
+        name="Nigeria",
+        region=Region.AFRICA,
+        development=DevelopmentLevel.DEVELOPING,
+        gdp_per_capita_ppp=5_300.0,
+        currency_code="NGN",
+        units_per_usd=157.0,
+        ppp_market_ratio=0.45,
+        internet_penetration=0.32,
+        base_price_usd=70.0,
+        upgrade_slope_usd=20.0,
+        min_capacity_mbps=0.25,
+        max_capacity_mbps=5.0,
+        n_plans=6,
+        tech_mix=_DEVELOPING_MIX,
+        extra_latency_ms=100.0,
+        loss_multiplier=3.0,
+        dasu_user_weight=60.0,
+    ),
+    _anchor(
+        name="South Africa",
+        region=Region.AFRICA,
+        development=DevelopmentLevel.DEVELOPING,
+        gdp_per_capita_ppp=12_100.0,
+        currency_code="ZAR",
+        units_per_usd=8.2,
+        ppp_market_ratio=0.55,
+        internet_penetration=0.41,
+        base_price_usd=45.0,
+        upgrade_slope_usd=8.0,
+        min_capacity_mbps=0.5,
+        max_capacity_mbps=10.0,
+        n_plans=8,
+        tech_mix=_DEVELOPING_MIX,
+        extra_latency_ms=90.0,
+        loss_multiplier=2.0,
+        dasu_user_weight=90.0,
+    ),
+)
+
+# Region-level parameter distributions for synthetic fill countries,
+# calibrated so that the regional cost-of-upgrade shares land near the
+# paper's Table 5. Slopes are drawn log-uniformly from (low, high).
+_REGION_SLOPE_RANGES: dict[tuple[Region, DevelopmentLevel], tuple[float, float]] = {
+    (Region.AFRICA, DevelopmentLevel.DEVELOPING): (3.0, 300.0),
+    (Region.ASIA, DevelopmentLevel.DEVELOPED): (0.03, 0.3),
+    (Region.ASIA, DevelopmentLevel.DEVELOPING): (0.5, 80.0),
+    (Region.CENTRAL_AMERICA_CARIBBEAN, DevelopmentLevel.DEVELOPING): (4.0, 11.0),
+    (Region.EUROPE, DevelopmentLevel.DEVELOPED): (0.15, 1.2),
+    (Region.EUROPE, DevelopmentLevel.DEVELOPING): (0.3, 2.5),
+    (Region.MIDDLE_EAST, DevelopmentLevel.DEVELOPING): (0.6, 100.0),
+    (Region.MIDDLE_EAST, DevelopmentLevel.DEVELOPED): (0.3, 2.0),
+    (Region.NORTH_AMERICA, DevelopmentLevel.DEVELOPED): (0.4, 0.95),
+    (Region.SOUTH_AMERICA, DevelopmentLevel.DEVELOPING): (0.5, 50.0),
+    (Region.OCEANIA, DevelopmentLevel.DEVELOPED): (0.5, 2.0),
+}
+
+# (region, development, count) for the synthetic fill; roughly matches the
+# country mix of the Google survey once the 19 anchors are added.
+_FILL_PLAN: tuple[tuple[Region, DevelopmentLevel, int], ...] = (
+    (Region.AFRICA, DevelopmentLevel.DEVELOPING, 14),
+    (Region.ASIA, DevelopmentLevel.DEVELOPED, 5),
+    (Region.ASIA, DevelopmentLevel.DEVELOPING, 7),
+    (Region.CENTRAL_AMERICA_CARIBBEAN, DevelopmentLevel.DEVELOPING, 6),
+    (Region.EUROPE, DevelopmentLevel.DEVELOPED, 11),
+    (Region.EUROPE, DevelopmentLevel.DEVELOPING, 3),
+    (Region.MIDDLE_EAST, DevelopmentLevel.DEVELOPING, 4),
+    (Region.MIDDLE_EAST, DevelopmentLevel.DEVELOPED, 1),
+    (Region.NORTH_AMERICA, DevelopmentLevel.DEVELOPED, 1),
+    (Region.SOUTH_AMERICA, DevelopmentLevel.DEVELOPING, 7),
+)
+
+_REGION_CODES = {
+    Region.AFRICA: "AF",
+    Region.ASIA: "AS",
+    Region.CENTRAL_AMERICA_CARIBBEAN: "CA",
+    Region.EUROPE: "EU",
+    Region.MIDDLE_EAST: "ME",
+    Region.NORTH_AMERICA: "NA",
+    Region.SOUTH_AMERICA: "SA",
+    Region.OCEANIA: "OC",
+}
+
+_SYLLABLES = (
+    "ba", "ka", "do", "lu", "mi", "ra", "so", "te", "va", "zo",
+    "na", "pe", "qi", "ru", "sa", "to", "ul", "an", "or", "en",
+)
+
+
+def _synthetic_name(region: Region, index: int, rng: np.random.Generator) -> str:
+    """A pronounceable fictional country name, tagged with its region."""
+    parts = [ _SYLLABLES[int(rng.integers(len(_SYLLABLES)))] for _ in range(3) ]
+    stem = "".join(parts).capitalize()
+    return f"{stem} ({_REGION_CODES[region]}{index:02d})"
+
+
+def _log_uniform(rng: np.random.Generator, low: float, high: float) -> float:
+    return float(np.exp(rng.uniform(np.log(low), np.log(high))))
+
+
+def synthesize_profiles(
+    rng: np.random.Generator,
+    fill_plan: tuple[tuple[Region, DevelopmentLevel, int], ...] = _FILL_PLAN,
+) -> list[CountryProfile]:
+    """Generate synthetic fill countries per the regional fill plan."""
+    profiles: list[CountryProfile] = []
+    for region, development, count in fill_plan:
+        slope_low, slope_high = _REGION_SLOPE_RANGES[(region, development)]
+        for i in range(count):
+            slope = _log_uniform(rng, slope_low, slope_high)
+            developed = development is DevelopmentLevel.DEVELOPED
+            promoted_tier: float | None = None
+            promoted_adoption = 0.0
+            if developed:
+                gdp = float(rng.uniform(26_000, 58_000))
+                base = float(rng.uniform(14.0, 24.0))
+                penetration = float(rng.uniform(0.6, 0.92))
+                mix = _DEVELOPED_MIX
+                extra_latency = float(rng.uniform(20.0, 70.0))
+                loss_mult = float(rng.uniform(0.8, 1.5))
+                max_cap = _log_uniform(rng, 50.0, 300.0)
+                min_cap = float(rng.uniform(1.0, 4.0))
+                if slope < 0.3:
+                    # A "cheap upgrades" market looks like Japan/Korea:
+                    # fiber-heavy, no slow fixed-line plans, a flagship
+                    # 100 Mbps tier that many subscribers default to.
+                    mix = _FIBER_HEAVY_MIX
+                    min_cap = float(rng.uniform(8.0, 15.0))
+                    max_cap = _log_uniform(rng, 100.0, 500.0)
+                    promoted_tier = 100.0
+                    promoted_adoption = float(rng.uniform(0.35, 0.55))
+            else:
+                gdp = _log_uniform(rng, 1_500, 20_000)
+                base = min(190.0, 22.0 + 1.4 * slope + float(rng.uniform(0, 25)))
+                penetration = float(rng.uniform(0.05, 0.5))
+                mix = _DEVELOPING_MIX
+                extra_latency = float(rng.uniform(40.0, 120.0))
+                loss_mult = float(rng.uniform(0.7, 2.0))
+                max_cap = _log_uniform(rng, 4.0, 40.0)
+                min_cap = float(rng.uniform(0.5, 1.5))
+            min_cap = min(min_cap, max_cap / 4.0)
+            n_plans = int(rng.integers(5, 13))
+            profiles.append(
+                CountryProfile(
+                    name=_synthetic_name(region, i, rng),
+                    region=region,
+                    development=development,
+                    gdp_per_capita_ppp=gdp,
+                    currency_code=f"{_REGION_CODES[region]}{i:02d}",
+                    units_per_usd=_log_uniform(rng, 0.5, 3_000.0),
+                    ppp_market_ratio=(
+                        float(rng.uniform(0.85, 1.25))
+                        if developed
+                        else float(rng.uniform(0.3, 0.7))
+                    ),
+                    internet_penetration=penetration,
+                    base_price_usd=base,
+                    upgrade_slope_usd=slope,
+                    min_capacity_mbps=min_cap,
+                    max_capacity_mbps=max_cap,
+                    n_plans=n_plans,
+                    price_noise=float(rng.uniform(0.05, 0.15)),
+                    oddball_plan_rate=float(rng.uniform(0.0, 0.25)),
+                    promoted_tier_mbps=promoted_tier,
+                    promoted_adoption=promoted_adoption,
+                    tech_mix=mix,
+                    extra_latency_ms=extra_latency,
+                    loss_multiplier=loss_mult,
+                    # Cheap-upgrade markets carry extra panel weight so the
+                    # global high-capacity pool is not US-dominated (the
+                    # paper's Dasu panel was only ~7% US).
+                    dasu_user_weight=_log_uniform(
+                        rng, *((150.0, 400.0) if promoted_tier else (60.0, 250.0))
+                    ),
+                )
+            )
+    return profiles
+
+
+def build_profiles(
+    rng: np.random.Generator,
+    include_synthetic: bool = True,
+    user_weight_scale: float = 1.0,
+) -> list[CountryProfile]:
+    """The full country roster: anchors plus (optionally) synthetic fill.
+
+    ``user_weight_scale`` rescales every country's Dasu population weight,
+    letting small test worlds keep the anchors' relative proportions.
+    """
+    profiles = list(ANCHOR_PROFILES)
+    if include_synthetic:
+        profiles.extend(synthesize_profiles(rng))
+    if user_weight_scale != 1.0:
+        profiles = [
+            replace(p, dasu_user_weight=p.dasu_user_weight * user_weight_scale)
+            for p in profiles
+        ]
+    return profiles

@@ -1,0 +1,67 @@
+"""Currency conversion with purchasing-power-parity normalization.
+
+The paper converts every monthly price to US dollars and then adjusts by
+the country's PPP-to-market-exchange ratio (Sec. 2.1), so that "one dollar"
+represents comparable purchasing power in every market. All prices inside
+:mod:`repro` analyses are USD PPP; this module is the one place where local
+prices are normalized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import MarketError
+
+__all__ = ["Currency", "USD", "to_usd_ppp"]
+
+
+@dataclass(frozen=True)
+class Currency:
+    """A currency plus the two conversion factors the paper uses.
+
+    Attributes
+    ----------
+    code:
+        ISO-style currency code (synthetic markets use invented codes).
+    units_per_usd:
+        Market exchange rate: local currency units per US dollar.
+    ppp_market_ratio:
+        The PPP-to-market-exchange ratio. Values below 1 mean local prices
+        buy more than the market exchange rate suggests (typical for
+        developing economies), so PPP-adjusted dollar amounts come out
+        *larger* than market-rate conversions.
+    """
+
+    code: str
+    units_per_usd: float
+    ppp_market_ratio: float
+
+    def __post_init__(self) -> None:
+        if self.units_per_usd <= 0:
+            raise MarketError(
+                f"{self.code}: exchange rate must be positive, "
+                f"got {self.units_per_usd}"
+            )
+        if self.ppp_market_ratio <= 0:
+            raise MarketError(
+                f"{self.code}: PPP ratio must be positive, "
+                f"got {self.ppp_market_ratio}"
+            )
+
+    def to_usd_market(self, amount_local: float) -> float:
+        """Convert a local amount to USD at the market exchange rate."""
+        return amount_local / self.units_per_usd
+
+    def to_usd_ppp(self, amount_local: float) -> float:
+        """Convert a local amount to PPP-adjusted USD."""
+        return self.to_usd_market(amount_local) / self.ppp_market_ratio
+
+
+#: The US dollar: the identity conversion.
+USD = Currency(code="USD", units_per_usd=1.0, ppp_market_ratio=1.0)
+
+
+def to_usd_ppp(amount_local: float, currency: Currency) -> float:
+    """Convenience wrapper for :meth:`Currency.to_usd_ppp`."""
+    return currency.to_usd_ppp(amount_local)

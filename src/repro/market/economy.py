@@ -1,0 +1,92 @@
+"""Country economies: regions, development level, income.
+
+Region taxonomy matches Table 5 of the paper (which splits Asia into
+developed and developing "given the diversity of economies within the
+area"); Oceania is carried for completeness (New Zealand appears in the
+paper's price examples) but is not part of Table 5's rows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..exceptions import MarketError
+from .currency import Currency
+
+__all__ = ["DevelopmentLevel", "Economy", "Region", "TABLE5_REGIONS"]
+
+
+class Region(enum.Enum):
+    """Aggregated world regions as used in the paper's Table 5."""
+
+    AFRICA = "Africa"
+    ASIA = "Asia"
+    CENTRAL_AMERICA_CARIBBEAN = "Central America/Caribbean"
+    EUROPE = "Europe"
+    MIDDLE_EAST = "Middle East"
+    NORTH_AMERICA = "North America"
+    SOUTH_AMERICA = "South America"
+    OCEANIA = "Oceania"
+
+
+class DevelopmentLevel(enum.Enum):
+    """IMF-style development classification."""
+
+    DEVELOPED = "developed"
+    DEVELOPING = "developing"
+
+
+#: The row labels of Table 5, in the paper's order. Asia appears three
+#: times: aggregated, developed-only and developing-only.
+TABLE5_REGIONS: tuple[str, ...] = (
+    "Africa",
+    "Asia (all)",
+    "Asia (developed)",
+    "Asia (developing)",
+    "Central America/Caribbean",
+    "Europe",
+    "Middle East",
+    "North America",
+    "South America",
+)
+
+
+@dataclass(frozen=True)
+class Economy:
+    """Macro-economic description of one country."""
+
+    country: str
+    region: Region
+    development: DevelopmentLevel
+    gdp_per_capita_ppp_usd: float
+    currency: Currency
+    internet_penetration: float
+
+    def __post_init__(self) -> None:
+        if self.gdp_per_capita_ppp_usd <= 0:
+            raise MarketError(
+                f"{self.country}: GDP per capita must be positive"
+            )
+        if not 0.0 <= self.internet_penetration <= 1.0:
+            raise MarketError(
+                f"{self.country}: penetration must be a fraction in [0, 1]"
+            )
+
+    @property
+    def monthly_income_ppp_usd(self) -> float:
+        """Monthly GDP per capita in PPP dollars (the paper's income proxy)."""
+        return self.gdp_per_capita_ppp_usd / 12.0
+
+    def table5_rows(self) -> tuple[str, ...]:
+        """The Table 5 row labels this economy contributes to."""
+        if self.region is Region.ASIA:
+            sub = (
+                "Asia (developed)"
+                if self.development is DevelopmentLevel.DEVELOPED
+                else "Asia (developing)"
+            )
+            return ("Asia (all)", sub)
+        if self.region is Region.OCEANIA:
+            return ()
+        return (self.region.value,)

@@ -1,0 +1,121 @@
+"""One country's retail broadband market and its derived metrics.
+
+A :class:`CountryMarket` bundles an economy with its plan listings and
+exposes the three market features the paper studies:
+
+* **price of broadband access** — the monthly cost of the cheapest plan
+  with at least 1 Mbps download (Sec. 5);
+* **cost of increasing capacity** — the slope of the price~capacity OLS
+  fit, valid only when the correlation is at least moderate (Sec. 6);
+* plan lookup helpers (nearest plan to a capacity, cheapest plan at least
+  a capacity) used by the Table 4 case study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from ..core.regression import MarketRegression, fit_price_capacity
+from ..exceptions import MarketError
+from .economy import Economy
+from .plans import BroadbandPlan
+
+__all__ = ["ACCESS_CAPACITY_MBPS", "CountryMarket"]
+
+#: The capacity floor defining "broadband access" for pricing purposes.
+ACCESS_CAPACITY_MBPS = 1.0
+
+
+@dataclass(frozen=True)
+class CountryMarket:
+    """The set of retail plans available in one country."""
+
+    economy: Economy
+    plans: tuple[BroadbandPlan, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.plans:
+            raise MarketError(f"{self.economy.country}: market has no plans")
+        for plan in self.plans:
+            if plan.country != self.economy.country:
+                raise MarketError(
+                    f"plan {plan.name!r} belongs to {plan.country!r}, "
+                    f"not {self.economy.country!r}"
+                )
+
+    @property
+    def country(self) -> str:
+        return self.economy.country
+
+    def plans_at_least(self, capacity_mbps: float) -> tuple[BroadbandPlan, ...]:
+        """All plans with download capacity >= ``capacity_mbps``."""
+        return tuple(
+            p for p in self.plans if p.download_mbps >= capacity_mbps
+        )
+
+    def cheapest_plan_at_least(
+        self, capacity_mbps: float = ACCESS_CAPACITY_MBPS
+    ) -> BroadbandPlan | None:
+        """Cheapest plan at or above the capacity, or ``None`` if none exists."""
+        candidates = self.plans_at_least(capacity_mbps)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda p: p.monthly_price_usd_ppp)
+
+    def price_of_access(
+        self, capacity_mbps: float = ACCESS_CAPACITY_MBPS
+    ) -> float | None:
+        """Monthly USD-PPP price of the cheapest >=1 Mbps plan (Sec. 5).
+
+        Markets whose fastest plan is below the access floor price access
+        at their fastest available plan instead, matching how the paper
+        still assigns a price to sub-megabit markets like Botswana's
+        512 kbps entry tier.
+        """
+        plan = self.cheapest_plan_at_least(capacity_mbps)
+        if plan is None:
+            fastest = max(self.plans, key=lambda p: p.download_mbps)
+            return fastest.monthly_price_usd_ppp
+        return plan.monthly_price_usd_ppp
+
+    def nearest_plan(self, capacity_mbps: float) -> BroadbandPlan:
+        """The plan whose download capacity is closest (log-scale) to the
+        target — used to map a median measured capacity to the "typical"
+        service of Table 4."""
+        import math
+
+        if capacity_mbps <= 0:
+            raise MarketError(f"capacity must be positive, got {capacity_mbps}")
+        return min(
+            self.plans,
+            key=lambda p: abs(math.log(p.download_mbps / capacity_mbps)),
+        )
+
+    @cached_property
+    def regression(self) -> MarketRegression | None:
+        """Price~capacity OLS over this market's plans (``None`` if the
+        market has fewer than two distinct capacities)."""
+        caps = [p.download_mbps for p in self.plans]
+        prices = [p.monthly_price_usd_ppp for p in self.plans]
+        if len(set(caps)) < 2:
+            return None
+        return fit_price_capacity(caps, prices)
+
+    @property
+    def upgrade_cost_usd_per_mbps(self) -> float | None:
+        """Monthly cost of +1 Mbps, or ``None`` when the market's price and
+        capacity are not at least moderately correlated (r <= 0.4) — the
+        paper excludes such markets from the upgrade-cost analyses."""
+        reg = self.regression
+        if reg is None or not reg.moderately_correlated:
+            return None
+        return reg.slope_usd_per_mbps
+
+    @property
+    def max_capacity_mbps(self) -> float:
+        return max(p.download_mbps for p in self.plans)
+
+    @property
+    def min_capacity_mbps(self) -> float:
+        return min(p.download_mbps for p in self.plans)

@@ -1,0 +1,85 @@
+"""Retail broadband plan records.
+
+Mirrors the fields of the Google "Policy by the Numbers" dataset the paper
+uses: download/upload speed, monthly traffic limit, monthly cost in local
+currency, plus the PPP-normalized USD price the analyses operate on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..exceptions import MarketError
+from .currency import Currency
+
+__all__ = ["BroadbandPlan", "PlanTechnology"]
+
+
+class PlanTechnology(enum.Enum):
+    """Access technology a retail plan is delivered over."""
+
+    FIBER = "fiber"
+    CABLE = "cable"
+    DSL = "dsl"
+    WIRELESS = "wireless"
+    SATELLITE = "satellite"
+
+    @property
+    def is_fixed_line(self) -> bool:
+        return self in (PlanTechnology.FIBER, PlanTechnology.CABLE, PlanTechnology.DSL)
+
+
+@dataclass(frozen=True)
+class BroadbandPlan:
+    """One retail broadband service plan.
+
+    ``monthly_price_local`` is in the plan's local currency;
+    ``monthly_price_usd_ppp`` is derived once at construction so analyses
+    never re-convert. ``dedicated`` marks non-shared business-grade lines
+    (the paper's Afghanistan example of a slow-but-expensive dedicated DSL
+    plan that weakens the price~capacity correlation).
+    """
+
+    country: str
+    isp: str
+    name: str
+    download_mbps: float
+    upload_mbps: float
+    monthly_price_local: float
+    currency: Currency
+    technology: PlanTechnology
+    data_cap_gb: float | None = None
+    dedicated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.download_mbps <= 0 or self.upload_mbps <= 0:
+            raise MarketError(
+                f"{self.country}/{self.name}: speeds must be positive"
+            )
+        if self.upload_mbps > self.download_mbps:
+            raise MarketError(
+                f"{self.country}/{self.name}: upload exceeds download"
+            )
+        if self.monthly_price_local <= 0:
+            raise MarketError(
+                f"{self.country}/{self.name}: price must be positive"
+            )
+        if self.data_cap_gb is not None and self.data_cap_gb <= 0:
+            raise MarketError(
+                f"{self.country}/{self.name}: data cap must be positive"
+            )
+
+    @property
+    def monthly_price_usd_ppp(self) -> float:
+        """Monthly price in PPP-normalized US dollars."""
+        return self.currency.to_usd_ppp(self.monthly_price_local)
+
+    @property
+    def is_capped(self) -> bool:
+        return self.data_cap_gb is not None
+
+    @property
+    def usd_ppp_per_mbps(self) -> float:
+        """Naive unit price of this single plan (not the market slope)."""
+        return self.monthly_price_usd_ppp / self.download_mbps

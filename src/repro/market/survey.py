@@ -1,0 +1,235 @@
+"""Global retail-plan survey generator.
+
+Produces, from a roster of :class:`~repro.market.countries.CountryProfile`,
+the equivalent of the Google "Policy by the Numbers" dataset: a plan
+listing per country with capacities, technologies, local-currency prices
+and PPP-normalized USD prices. The generated survey preserves the
+structural facts the paper relies on:
+
+* prices rise roughly linearly with capacity inside a market, with noise;
+* a minority of markets carry "oddball" plans (dedicated lines, capped
+  wireless) that weaken the price~capacity correlation, so that roughly
+  two-thirds of markets end up strongly correlated and ~80% at least
+  moderately correlated (Sec. 6);
+* regional cost-of-upgrade distributions match Table 5's shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.regression import MODERATE_CORRELATION, STRONG_CORRELATION
+from ..exceptions import MarketError
+from .countries import CountryProfile
+from .market import CountryMarket
+from .plans import BroadbandPlan, PlanTechnology
+
+__all__ = ["PlanSurvey", "generate_market", "generate_survey"]
+
+#: Marketing capacities (Mbps) that real plans are advertised at.
+_MARKETING_CAPACITIES: tuple[float, ...] = (
+    0.128, 0.256, 0.384, 0.512, 0.768, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0,
+    8.0, 10.0, 12.0, 15.0, 16.0, 20.0, 25.0, 30.0, 40.0, 50.0, 60.0, 75.0,
+    100.0, 150.0, 200.0, 300.0, 500.0, 1000.0,
+)
+
+
+def _snap_to_marketing(capacity: float) -> float:
+    """Snap a raw capacity to the nearest advertised value (log scale)."""
+    return min(
+        _MARKETING_CAPACITIES,
+        key=lambda m: abs(np.log(m / capacity)),
+    )
+
+
+def _technology_for_capacity(
+    capacity_mbps: float, rng: np.random.Generator
+) -> PlanTechnology:
+    """A plausible fixed-line delivery technology for a plan capacity."""
+    if capacity_mbps > 150.0:
+        return PlanTechnology.FIBER
+    if capacity_mbps > 25.0:
+        return (
+            PlanTechnology.FIBER
+            if rng.random() < 0.5
+            else PlanTechnology.CABLE
+        )
+    if capacity_mbps > 10.0:
+        return (
+            PlanTechnology.CABLE
+            if rng.random() < 0.6
+            else PlanTechnology.DSL
+        )
+    return PlanTechnology.DSL
+
+
+def _isp_names(country: str) -> tuple[str, ...]:
+    return (
+        f"{country} Telecom",
+        f"{country} Net",
+        f"CityLink {country}",
+        f"AirWave {country}",
+    )
+
+
+def generate_market(
+    profile: CountryProfile, rng: np.random.Generator
+) -> CountryMarket:
+    """Generate one country's retail plan market from its profile."""
+    currency = profile.currency
+    isps = _isp_names(profile.name)
+
+    # Geometric capacity ladder from the profile's range, snapped to
+    # marketing values and deduplicated.
+    if profile.n_plans == 1:
+        raw = [profile.min_capacity_mbps]
+    else:
+        raw = np.geomspace(
+            profile.min_capacity_mbps,
+            profile.max_capacity_mbps,
+            profile.n_plans,
+        )
+    ladder = sorted({_snap_to_marketing(float(c)) for c in raw})
+    if len(ladder) < 2:
+        # Degenerate range: force a two-step ladder so the market has a slope.
+        ladder = sorted(
+            {
+                _snap_to_marketing(profile.min_capacity_mbps),
+                _snap_to_marketing(profile.min_capacity_mbps * 2.0),
+            }
+        )
+
+    plans: list[BroadbandPlan] = []
+    for i, capacity in enumerate(ladder):
+        price_usd = (
+            profile.base_price_usd
+            + profile.upgrade_slope_usd * (capacity - 1.0)
+        )
+        price_usd *= float(np.exp(rng.normal(0.0, profile.price_noise)))
+        price_usd = max(3.0, price_usd)
+        technology = _technology_for_capacity(capacity, rng)
+        dedicated = False
+        data_cap: float | None = None
+        name = f"{technology.value}-{capacity:g}M"
+
+        if rng.random() < profile.oddball_plan_rate:
+            # Oddball plans weaken the market's price~capacity correlation:
+            # either an expensive dedicated line or a cheap capped wireless
+            # offering (the paper's Afghanistan example).
+            if rng.random() < 0.5:
+                dedicated = True
+                price_usd *= float(rng.uniform(2.0, 4.0))
+                name = f"dedicated-{capacity:g}M"
+            else:
+                technology = PlanTechnology.WIRELESS
+                price_usd *= float(rng.uniform(0.45, 0.7))
+                data_cap = float(rng.choice([5.0, 10.0, 20.0, 50.0]))
+                name = f"wireless-{capacity:g}M"
+        elif rng.random() < 0.25:
+            # Fixed-line caps of the 2011-2013 era sat well above typical
+            # monthly volumes (Comcast 250 GB, AT&T 150-250 GB); only
+            # heavy households feel them.
+            data_cap = float(rng.choice([150.0, 250.0, 300.0, 500.0]))
+
+        upload_ratio = 0.5 if technology is PlanTechnology.FIBER else 0.12
+        price_local = (
+            price_usd * currency.ppp_market_ratio * currency.units_per_usd
+        )
+        plans.append(
+            BroadbandPlan(
+                country=profile.name,
+                isp=isps[i % len(isps)],
+                name=name,
+                download_mbps=capacity,
+                upload_mbps=max(0.064, capacity * upload_ratio),
+                monthly_price_local=price_local,
+                currency=currency,
+                technology=technology,
+                data_cap_gb=data_cap,
+                dedicated=dedicated,
+            )
+        )
+    return CountryMarket(economy=profile.economy(), plans=tuple(plans))
+
+
+@dataclass(frozen=True)
+class PlanSurvey:
+    """The global plan survey: one :class:`CountryMarket` per country."""
+
+    markets: dict[str, CountryMarket]
+
+    def __post_init__(self) -> None:
+        if not self.markets:
+            raise MarketError("a survey needs at least one market")
+
+    @property
+    def countries(self) -> tuple[str, ...]:
+        return tuple(sorted(self.markets))
+
+    @property
+    def n_plans(self) -> int:
+        return sum(len(m.plans) for m in self.markets.values())
+
+    def market(self, country: str) -> CountryMarket:
+        try:
+            return self.markets[country]
+        except KeyError:
+            raise MarketError(f"no market for country {country!r}") from None
+
+    def all_plans(self) -> tuple[BroadbandPlan, ...]:
+        return tuple(
+            plan
+            for country in self.countries
+            for plan in self.markets[country].plans
+        )
+
+    def price_of_access(self) -> dict[str, float]:
+        """Monthly USD-PPP cost of >=1 Mbps access, per country."""
+        out: dict[str, float] = {}
+        for country in self.countries:
+            price = self.markets[country].price_of_access()
+            if price is not None:
+                out[country] = price
+        return out
+
+    def upgrade_costs(self) -> dict[str, float]:
+        """Cost of +1 Mbps per country, for moderately-correlated markets."""
+        out: dict[str, float] = {}
+        for country in self.countries:
+            cost = self.markets[country].upgrade_cost_usd_per_mbps
+            if cost is not None:
+                out[country] = cost
+        return out
+
+    def correlation_shares(self) -> tuple[float, float]:
+        """Fractions of markets with strong (>0.8) and at least moderate
+        (>0.4) price~capacity correlation — the Sec. 6 summary numbers."""
+        correlations = [
+            m.regression.correlation
+            for m in self.markets.values()
+            if m.regression is not None
+        ]
+        if not correlations:
+            return 0.0, 0.0
+        n = len(correlations)
+        strong = sum(1 for r in correlations if r > STRONG_CORRELATION) / n
+        moderate = (
+            sum(1 for r in correlations if r > MODERATE_CORRELATION) / n
+        )
+        return strong, moderate
+
+
+def generate_survey(
+    profiles: Sequence[CountryProfile] | Iterable[CountryProfile],
+    rng: np.random.Generator,
+) -> PlanSurvey:
+    """Generate the full multi-country plan survey."""
+    markets: dict[str, CountryMarket] = {}
+    for profile in profiles:
+        if profile.name in markets:
+            raise MarketError(f"duplicate country {profile.name!r}")
+        markets[profile.name] = generate_market(profile, rng)
+    return PlanSurvey(markets=markets)

@@ -1,0 +1,39 @@
+"""Simulated measurement infrastructure.
+
+Each module mirrors one collection channel of the paper's datasets:
+
+* :mod:`repro.measurement.ndt` — M-Lab NDT-style performance tests
+  (capacity, end-to-end latency, packet loss);
+* :mod:`repro.measurement.upnp` — UPnP gateway byte counters, including
+  the 32-bit wrap and reset artifacts the paper's citations warn about,
+  and their correction;
+* :mod:`repro.measurement.netstat` — host byte counters for users
+  directly connected to their modem;
+* :mod:`repro.measurement.dasu` — the Dasu end-host client: ~30 s counter
+  sampling while the client is online (peak-hour biased), BitTorrent
+  activity flags;
+* :mod:`repro.measurement.gateway` — FCC/SamKnows residential gateways:
+  hourly WAN byte counters, uniform around the clock;
+* :mod:`repro.measurement.web_latency` — median latency probes to
+  popular web sites (the Fig. 11 validation).
+"""
+
+from .dasu import DasuClient, DasuVantage, SampledUsage
+from .gateway import FccGateway
+from .ndt import NdtClient, NdtResult
+from .netstat import NetstatCounter
+from .upnp import UpnpCounter, deltas_from_readings
+from .web_latency import WebLatencyProber
+
+__all__ = [
+    "DasuClient",
+    "DasuVantage",
+    "FccGateway",
+    "NdtClient",
+    "NdtResult",
+    "NetstatCounter",
+    "SampledUsage",
+    "UpnpCounter",
+    "WebLatencyProber",
+    "deltas_from_readings",
+]

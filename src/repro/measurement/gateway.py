@@ -1,0 +1,77 @@
+"""FCC / SamKnows residential gateway measurements.
+
+The "Measuring Broadband America" gateways record the number of bytes
+sent and received over the WAN link every hour, around the clock — no
+peak-hour bias, no BitTorrent visibility (the gateway sees bytes, not
+applications). They also run scheduled performance tests; the builder
+reuses :class:`~repro.measurement.ndt.NdtClient` for those.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.metrics import DemandSummary, demand_summary
+from ..exceptions import MeasurementError
+from ..traffic.generator import UsageSeries
+from ..units import SECONDS_PER_HOUR
+
+__all__ = ["FccGateway"]
+
+
+class FccGateway:
+    """Aggregates a household series into hourly WAN byte counts."""
+
+    def __init__(self, rng: np.random.Generator, loss_rate: float = 0.01) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise MeasurementError("record loss rate must be a fraction")
+        self._rng = rng
+        self._record_loss_rate = loss_rate
+
+    def hourly_rates_with_hours(
+        self, series: UsageSeries
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(hourly mean rates, local hour of each record).
+
+        A small fraction of hourly records is lost in upload/processing
+        (as in the public FCC data releases).
+        """
+        samples_per_hour = int(round(SECONDS_PER_HOUR / series.interval_s))
+        if samples_per_hour < 1:
+            raise MeasurementError(
+                "series must be sampled at sub-hourly resolution"
+            )
+        n_hours = series.n_samples // samples_per_hour
+        if n_hours < 1:
+            raise MeasurementError("series shorter than one hour")
+        trimmed = series.rates_mbps[: n_hours * samples_per_hour]
+        hourly = trimmed.reshape(n_hours, samples_per_hour).mean(axis=1)
+        hours = (series.start_hour + 0.5 + np.arange(n_hours)) % 24.0
+        kept = self._rng.random(n_hours) >= self._record_loss_rate
+        if not np.any(kept):
+            kept[0] = True
+        self._last_kept = kept
+        return hourly[kept], hours[kept]
+
+    def hourly_upload_rates(self, series: UsageSeries) -> np.ndarray | None:
+        """Hourly uplink means, aligned with the most recent
+        :meth:`hourly_rates_with_hours` call's record-loss mask."""
+        if series.up_rates_mbps is None:
+            return None
+        samples_per_hour = int(round(SECONDS_PER_HOUR / series.interval_s))
+        n_hours = series.n_samples // samples_per_hour
+        trimmed = series.up_rates_mbps[: n_hours * samples_per_hour]
+        hourly = trimmed.reshape(n_hours, samples_per_hour).mean(axis=1)
+        kept = getattr(self, "_last_kept", None)
+        if kept is None or kept.size != n_hours:
+            return hourly
+        return hourly[kept]
+
+    def hourly_rates(self, series: UsageSeries) -> np.ndarray:
+        """Average WAN download rate per hour, in Mbps."""
+        rates, _ = self.hourly_rates_with_hours(series)
+        return rates
+
+    def summary(self, series: UsageSeries) -> DemandSummary:
+        """Mean/peak demand as estimated from the hourly records."""
+        return demand_summary(self.hourly_rates(series))

@@ -1,0 +1,56 @@
+"""Host byte counters, as read via ``netstat``.
+
+Users directly connected to their modem are measured through the host's
+own interface counters — 64-bit, monotone, no wrap in practice. The only
+artifact worth modeling is that counters restart when the host reboots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import MeasurementError
+
+__all__ = ["NetstatCounter", "deltas_from_netstat"]
+
+
+class NetstatCounter:
+    """A 64-bit cumulative interface byte counter."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        reboot_probability_per_read: float = 0.0002,
+    ) -> None:
+        if not 0.0 <= reboot_probability_per_read < 1.0:
+            raise MeasurementError("reboot probability must be a fraction")
+        self._rng = rng
+        self._reboot_probability = reboot_probability_per_read
+        self._value = 0
+
+    def advance(self, n_bytes: int) -> None:
+        if n_bytes < 0:
+            raise MeasurementError("cannot advance a counter backwards")
+        self._value += int(n_bytes)
+
+    def read(self) -> int:
+        if self._rng.random() < self._reboot_probability:
+            self._value = 0
+        return self._value
+
+
+def deltas_from_netstat(readings: np.ndarray) -> np.ndarray:
+    """Per-interval byte counts from 64-bit counter readings.
+
+    Any decrease is a host reboot; the interval is reported as ``-1`` so
+    callers can drop it.
+    """
+    raw = np.asarray(readings, dtype=np.int64)
+    if raw.ndim != 1 or raw.size < 2:
+        raise MeasurementError("need at least two readings to form deltas")
+    if np.any(raw < 0):
+        raise MeasurementError("counter readings cannot be negative")
+    diffs = np.diff(raw)
+    out = diffs.copy()
+    out[diffs < 0] = -1
+    return out

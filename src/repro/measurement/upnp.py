@@ -1,0 +1,73 @@
+"""UPnP gateway byte counters and their pathologies.
+
+Dasu reads WAN byte counters from UPnP-enabled home gateways. Real UPnP
+counters are notorious (DiCioccio et al., PAM'12 — the paper's citation
+[11]): they are 32-bit and wrap every 4 GiB, and they reset to zero when
+the gateway reboots. This module simulates the raw counter and provides
+the correction used when turning readings into traffic volumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import MeasurementError
+from ..units import UINT32_WRAP
+
+__all__ = ["UpnpCounter", "deltas_from_readings"]
+
+
+class UpnpCounter:
+    """A 32-bit cumulative WAN byte counter with reboot resets."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        reset_probability_per_read: float = 0.0005,
+    ) -> None:
+        if not 0.0 <= reset_probability_per_read < 1.0:
+            raise MeasurementError("reset probability must be a fraction")
+        self._rng = rng
+        self._reset_probability = reset_probability_per_read
+        # Gateways have usually been up a while: start mid-range.
+        self._value = int(rng.integers(0, UINT32_WRAP))
+
+    def advance(self, n_bytes: int) -> None:
+        """Account ``n_bytes`` of WAN traffic."""
+        if n_bytes < 0:
+            raise MeasurementError("cannot advance a counter backwards")
+        self._value = (self._value + int(n_bytes)) % UINT32_WRAP
+
+    def read(self) -> int:
+        """Read the counter; the gateway occasionally reboots to zero."""
+        if self._rng.random() < self._reset_probability:
+            self._value = 0
+        return self._value
+
+
+def deltas_from_readings(readings: np.ndarray) -> np.ndarray:
+    """Reconstruct per-interval byte counts from raw counter readings.
+
+    Handles the two artifacts:
+
+    * **wrap** — the counter decreased by *less* than half the 32-bit
+      range is impossible; a decrease of *more* than half the range is a
+      wrap, corrected by adding 2^32;
+    * **reset** — a decrease of less than half the range means the
+      gateway rebooted; the interval's true volume is unknowable and is
+      reported as ``-1`` so callers can drop it.
+
+    Returns an integer array one shorter than ``readings``.
+    """
+    raw = np.asarray(readings, dtype=np.int64)
+    if raw.ndim != 1 or raw.size < 2:
+        raise MeasurementError("need at least two readings to form deltas")
+    if np.any(raw < 0) or np.any(raw >= UINT32_WRAP):
+        raise MeasurementError("readings must be 32-bit counter values")
+    diffs = np.diff(raw)
+    wrapped = diffs < -(UINT32_WRAP // 2)
+    reset = (diffs < 0) & ~wrapped
+    out = diffs.copy()
+    out[wrapped] += UINT32_WRAP
+    out[reset] = -1
+    return out

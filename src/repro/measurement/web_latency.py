@@ -1,0 +1,57 @@
+"""Latency probes toward popular web sites.
+
+The paper validates its NDT latency measurements (Sec. 7.1, Fig. 11) by
+probing five globally popular sites — Google, Facebook, YouTube, Yahoo
+and Windows Live — and taking each user's median. Sites served from
+local CDN replicas answer near the NDT latency; in countries with poor
+CDN coverage the gap to real content is larger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import MeasurementError
+from ..network.path import NetworkPath
+
+__all__ = ["POPULAR_SITES", "WebLatencyProber"]
+
+#: The probe target set of the paper's 2014 validation experiment.
+POPULAR_SITES: tuple[str, ...] = (
+    "google.com",
+    "facebook.com",
+    "youtube.com",
+    "yahoo.com",
+    "live.com",
+)
+
+#: Per-site serving-distance factor relative to the user's typical
+#: web path (some sites are replicated more aggressively than others).
+_SITE_FACTORS: dict[str, float] = {
+    "google.com": 0.85,
+    "facebook.com": 0.95,
+    "youtube.com": 0.9,
+    "yahoo.com": 1.15,
+    "live.com": 1.3,
+}
+
+
+class WebLatencyProber:
+    """Measures a user's median latency to the popular-site set."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def probe_site(self, path: NetworkPath, site: str) -> float:
+        """One site's measured RTT in milliseconds."""
+        if site not in _SITE_FACTORS:
+            raise MeasurementError(f"unknown probe target {site!r}")
+        base = path.link.access_rtt_ms + (
+            path.distance_rtt_ms + path.cdn_gap_ms
+        ) * _SITE_FACTORS[site]
+        return float(base * np.exp(self._rng.normal(0.0, 0.1)))
+
+    def median_latency_ms(self, path: NetworkPath) -> float:
+        """The user's median RTT over the five-site probe set."""
+        rtts = [self.probe_site(path, site) for site in POPULAR_SITES]
+        return float(np.median(rtts))

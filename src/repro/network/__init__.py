@@ -1,0 +1,25 @@
+"""Access-network substrate: technologies, links, paths and a TCP model.
+
+These modules provide the physical-layer ground truth that the simulated
+measurement clients (:mod:`repro.measurement`) observe: per-technology
+latency and loss profiles, end-to-end paths toward measurement servers and
+popular web sites, and a Mathis-style TCP throughput model that couples
+quality to achievable rate.
+"""
+
+from .geo import NetworkPlanner
+from .link import AccessLink
+from .path import NetworkPath
+from .tcp import effective_capacity_mbps, mathis_throughput_mbps
+from .technology import TECH_PROFILES, TechnologyProfile, sample_technology
+
+__all__ = [
+    "AccessLink",
+    "NetworkPath",
+    "NetworkPlanner",
+    "TECH_PROFILES",
+    "TechnologyProfile",
+    "effective_capacity_mbps",
+    "mathis_throughput_mbps",
+    "sample_technology",
+]

@@ -1,0 +1,88 @@
+"""Geographic identity of subscriber networks.
+
+The paper identifies a network by the tuple (ISP name, network prefix,
+geolocated city); a user switching services moves between such tuples.
+The :class:`NetworkPlanner` hands out deterministic, country-consistent
+network identities, reusing the ISP names of the country's retail market.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.upgrades import NetworkId
+from ..exceptions import DatasetError
+
+__all__ = ["NetworkPlanner"]
+
+_CITY_STEMS = (
+    "North", "South", "East", "West", "New", "Old", "Port", "Lake",
+    "Mount", "Fort", "Grand", "Little",
+)
+_CITY_ROOTS = (
+    "field", "ton", "ville", "burg", "haven", "ford", "bridge", "wood",
+    "gate", "view", "falls", "crest",
+)
+
+
+class NetworkPlanner:
+    """Deterministic generator of (ISP, prefix, city) identities.
+
+    One planner is built per country; prefixes are unique per (ISP, city)
+    pair so that a service change always lands on a different tuple, the
+    way the paper's switch detection requires.
+    """
+
+    def __init__(
+        self,
+        country: str,
+        isps: tuple[str, ...],
+        rng: np.random.Generator,
+        n_cities: int = 6,
+    ) -> None:
+        if not isps:
+            raise DatasetError(f"{country}: needs at least one ISP")
+        if n_cities < 1:
+            raise DatasetError(f"{country}: needs at least one city")
+        self.country = country
+        self.isps = isps
+        self._rng = rng
+        self.cities = tuple(
+            f"{_CITY_STEMS[int(rng.integers(len(_CITY_STEMS)))]}"
+            f"{_CITY_ROOTS[int(rng.integers(len(_CITY_ROOTS)))]}"
+            f"-{i}"
+            for i in range(n_cities)
+        )
+        self._next_prefix: dict[tuple[str, str], int] = {}
+
+    def _fresh_prefix(self, isp: str, city: str) -> str:
+        index = self._next_prefix.get((isp, city), 0)
+        self._next_prefix[(isp, city)] = index + 1
+        isp_octet = 10 + (abs(hash((self.country, isp))) % 200)
+        city_octet = abs(hash(city)) % 250
+        return f"{isp_octet}.{city_octet}.{index % 256}.0/24"
+
+    def home_network(self, isp: str | None = None) -> NetworkId:
+        """A fresh network identity for a new subscriber household."""
+        if isp is None:
+            isp = self.isps[int(self._rng.integers(len(self.isps)))]
+        elif isp not in self.isps:
+            raise DatasetError(f"{self.country}: unknown ISP {isp!r}")
+        city = self.cities[int(self._rng.integers(len(self.cities)))]
+        return NetworkId(isp=isp, prefix=self._fresh_prefix(isp, city), city=city)
+
+    def switched_network(self, current: NetworkId) -> NetworkId:
+        """The identity after a service change.
+
+        Upgrading usually keeps the city (same home, new service — possibly
+        a new ISP, always a new prefix); occasionally the user moved.
+        """
+        if self._rng.random() < 0.85:
+            city = current.city
+        else:
+            city = self.cities[int(self._rng.integers(len(self.cities)))]
+        if self._rng.random() < 0.5:
+            isp = current.isp
+        else:
+            isp = self.isps[int(self._rng.integers(len(self.isps)))]
+        return NetworkId(isp=isp, prefix=self._fresh_prefix(isp, city), city=city)

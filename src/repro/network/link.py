@@ -1,0 +1,76 @@
+"""The subscriber's access link: the ground truth a measurement sees."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import MeasurementError
+from ..market.plans import PlanTechnology
+from .technology import TECH_PROFILES
+
+__all__ = ["AccessLink", "provision_link"]
+
+
+@dataclass(frozen=True)
+class AccessLink:
+    """One subscriber line.
+
+    ``download_mbps``/``upload_mbps`` are the *provisioned* capacities —
+    what the line can actually carry, which the paper's NDT-based analysis
+    estimates via the maximum measured throughput (it deliberately studies
+    actual rather than advertised capacity). ``access_rtt_ms`` is the
+    last-mile component of latency; ``loss_fraction`` the line's average
+    packet-loss rate.
+    """
+
+    download_mbps: float
+    upload_mbps: float
+    technology: PlanTechnology
+    access_rtt_ms: float
+    loss_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.download_mbps <= 0 or self.upload_mbps <= 0:
+            raise MeasurementError("link capacities must be positive")
+        if self.access_rtt_ms <= 0:
+            raise MeasurementError("access RTT must be positive")
+        if not 0.0 <= self.loss_fraction < 1.0:
+            raise MeasurementError(
+                f"loss must be a fraction in [0, 1), got {self.loss_fraction}"
+            )
+
+
+def provision_link(
+    plan_download_mbps: float,
+    plan_upload_mbps: float,
+    technology: PlanTechnology,
+    rng: np.random.Generator,
+    loss_multiplier: float = 1.0,
+) -> AccessLink:
+    """Provision a physical line for an advertised plan.
+
+    Real lines rarely deliver exactly the advertised rate: DSL degrades
+    with loop length, cable with sharing, while fiber generally delivers
+    (and sometimes slightly exceeds) the advertised figure. We draw the
+    provisioning ratio accordingly and cap at the technology ceiling.
+    """
+    profile = TECH_PROFILES[technology]
+    if technology is PlanTechnology.FIBER:
+        ratio = float(rng.uniform(0.95, 1.1))
+    elif technology is PlanTechnology.CABLE:
+        ratio = float(rng.uniform(0.85, 1.05))
+    elif technology is PlanTechnology.DSL:
+        ratio = float(rng.uniform(0.78, 1.02))
+    else:
+        ratio = float(rng.uniform(0.5, 1.0))
+    down = min(plan_download_mbps * ratio, profile.max_capacity_mbps)
+    up = min(plan_upload_mbps * ratio, down)
+    return AccessLink(
+        download_mbps=max(0.05, down),
+        upload_mbps=max(0.03, up),
+        technology=technology,
+        access_rtt_ms=profile.sample_access_rtt_ms(rng),
+        loss_fraction=profile.sample_loss_fraction(rng, loss_multiplier),
+    )

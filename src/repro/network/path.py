@@ -1,0 +1,96 @@
+"""End-to-end network paths from a subscriber to measurement targets.
+
+Two destinations matter in the paper:
+
+* the nearest **NDT measurement server** (hosted in content-provider and
+  CDN networks, so its latency approximates latency to popular content);
+* **popular web sites** (the Fig. 11 validation set: five Alexa top
+  sites), whose latency additionally depends on how well CDNs cover the
+  user's country.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import MeasurementError
+from .link import AccessLink
+
+__all__ = ["NetworkPath", "build_path"]
+
+
+@dataclass(frozen=True)
+class NetworkPath:
+    """A subscriber's path to the measurement infrastructure.
+
+    ``distance_rtt_ms`` is the wide-area component toward the nearest NDT
+    server; ``cdn_gap_ms`` is the *additional* distance to popular content
+    when local CDN presence is poor (near zero in well-served countries —
+    the India analysis of Sec. 7.1 hinges on this being large there).
+    ``path_loss_fraction`` is wide-area loss, normally negligible next to
+    access-line loss.
+    """
+
+    link: AccessLink
+    distance_rtt_ms: float
+    cdn_gap_ms: float
+    path_loss_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.distance_rtt_ms < 0 or self.cdn_gap_ms < 0:
+            raise MeasurementError("path latencies must be non-negative")
+        if not 0.0 <= self.path_loss_fraction < 1.0:
+            raise MeasurementError("path loss must be a fraction in [0, 1)")
+
+    @property
+    def ndt_rtt_ms(self) -> float:
+        """True end-to-end RTT to the nearest NDT server."""
+        return self.link.access_rtt_ms + self.distance_rtt_ms
+
+    @property
+    def web_rtt_ms(self) -> float:
+        """True median RTT to popular web sites (CDN-dependent)."""
+        return self.ndt_rtt_ms + self.cdn_gap_ms
+
+    @property
+    def loss_fraction(self) -> float:
+        """Combined loss of access line and wide-area path."""
+        combined = 1.0 - (1.0 - self.link.loss_fraction) * (
+            1.0 - self.path_loss_fraction
+        )
+        return min(0.5, combined)
+
+
+def build_path(
+    link: AccessLink,
+    extra_latency_ms: float,
+    rng: np.random.Generator,
+) -> NetworkPath:
+    """Build a subscriber's path given the country's connectivity quality.
+
+    ``extra_latency_ms`` is the country profile's median wide-area latency
+    to content; individual subscribers vary around it. The CDN gap grows
+    with the country's remoteness: users far from content are usually also
+    far from CDN replicas.
+    """
+    if extra_latency_ms < 0:
+        raise MeasurementError(
+            f"extra latency must be non-negative, got {extra_latency_ms}"
+        )
+    distance = float(
+        extra_latency_ms * np.exp(rng.normal(0.0, 0.35))
+    )
+    if extra_latency_ms >= 100.0:
+        cdn_gap = float(rng.uniform(0.1, 0.4) * distance)
+    else:
+        cdn_gap = float(rng.uniform(0.0, 8.0))
+    return NetworkPath(
+        link=link,
+        distance_rtt_ms=distance,
+        cdn_gap_ms=cdn_gap,
+        path_loss_fraction=float(
+            min(0.01, np.exp(rng.uniform(np.log(1e-6), np.log(3e-4))))
+        ),
+    )

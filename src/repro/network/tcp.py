@@ -1,0 +1,90 @@
+"""Mathis-style TCP throughput model.
+
+The coupling between connection quality and achievable demand runs through
+TCP: sustained throughput of a loss-limited TCP flow is approximately
+
+    rate <= (MSS / RTT) * (C / sqrt(p))
+
+(Mathis et al., CCR 1997), with C ~= sqrt(3/2) for periodic loss. Real
+household workloads multiplex several flows, so the aggregate ceiling is
+``n_flows`` times the single-flow figure, never exceeding the line rate.
+This is what makes very lossy or very distant connections unable to fill
+their pipes — the mechanism behind the paper's Sec. 7 findings.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import MeasurementError
+from .path import NetworkPath
+
+__all__ = [
+    "DEFAULT_HOUSEHOLD_FLOWS",
+    "MATHIS_CONSTANT",
+    "effective_capacity_mbps",
+    "mathis_throughput_mbps",
+]
+
+#: sqrt(3/2), the constant for periodic loss in the Mathis formula.
+MATHIS_CONSTANT = math.sqrt(1.5)
+
+#: Typical number of concurrent TCP flows in a busy household.
+DEFAULT_HOUSEHOLD_FLOWS = 8
+
+#: Standard Ethernet-era maximum segment size, in bytes.
+DEFAULT_MSS_BYTES = 1460
+
+
+def mathis_throughput_mbps(
+    rtt_ms: float,
+    loss_fraction: float,
+    mss_bytes: int = DEFAULT_MSS_BYTES,
+    n_flows: int = 1,
+) -> float:
+    """Aggregate TCP throughput ceiling in Mbps.
+
+    Returns ``inf`` for loss-free paths (the formula only binds when loss
+    is non-zero; the line rate caps throughput elsewhere).
+    """
+    if rtt_ms <= 0:
+        raise MeasurementError(f"RTT must be positive, got {rtt_ms}")
+    if not 0.0 <= loss_fraction < 1.0:
+        raise MeasurementError(
+            f"loss must be a fraction in [0, 1), got {loss_fraction}"
+        )
+    if mss_bytes <= 0 or n_flows <= 0:
+        raise MeasurementError("MSS and flow count must be positive")
+    if loss_fraction == 0.0:
+        return math.inf
+    rtt_s = rtt_ms / 1_000.0
+    single_flow_bps = (
+        (mss_bytes * 8.0) / rtt_s * MATHIS_CONSTANT / math.sqrt(loss_fraction)
+    )
+    return n_flows * single_flow_bps / 1e6
+
+
+def effective_capacity_mbps(
+    path: NetworkPath,
+    n_flows: int = DEFAULT_HOUSEHOLD_FLOWS,
+) -> float:
+    """What the household can actually pull through the path.
+
+    The minimum of the provisioned line rate and the TCP ceiling for the
+    path's RTT and loss. For clean, short paths this is simply the line
+    rate; very lossy lines are TCP-limited well below it. Technologies
+    with a performance-enhancing proxy (satellite) cap the RTT that TCP
+    effectively sees.
+    """
+    from .technology import TECH_PROFILES  # local import avoids a cycle
+
+    rtt = path.ndt_rtt_ms
+    pep = TECH_PROFILES[path.link.technology].pep_rtt_ms
+    if pep is not None:
+        rtt = min(rtt, pep)
+    ceiling = mathis_throughput_mbps(
+        rtt_ms=rtt,
+        loss_fraction=path.loss_fraction,
+        n_flows=n_flows,
+    )
+    return min(path.link.download_mbps, ceiling)

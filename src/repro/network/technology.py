@@ -1,0 +1,123 @@
+"""Per-technology latency and loss profiles.
+
+The paper observes (Sec. 2.2) that connections with very high latency
+(> 500 ms) or very high loss (> 10%) are predominantly satellite or
+wireless (WiMAX, cellular) services. These profiles encode that structure:
+each access technology has a characteristic last-mile RTT range, a
+log-uniform loss range, and a capacity ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..exceptions import MeasurementError
+from ..market.plans import PlanTechnology
+
+__all__ = ["TECH_PROFILES", "TechnologyProfile", "sample_technology"]
+
+
+@dataclass(frozen=True)
+class TechnologyProfile:
+    """Physical characteristics of one access technology."""
+
+    technology: PlanTechnology
+    rtt_range_ms: tuple[float, float]
+    loss_range: tuple[float, float]
+    max_capacity_mbps: float
+    #: RTT, in ms, that TCP effectively sees on this technology when a
+    #: performance-enhancing proxy (PEP) splits the connection — standard
+    #: on satellite services. ``None`` means no PEP.
+    pep_rtt_ms: float | None = None
+
+    def sample_access_rtt_ms(self, rng: np.random.Generator) -> float:
+        """Draw a last-mile RTT for one subscriber line."""
+        lo, hi = self.rtt_range_ms
+        return float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+
+    def sample_loss_fraction(
+        self, rng: np.random.Generator, multiplier: float = 1.0
+    ) -> float:
+        """Draw an average loss rate, scaled by a country-quality multiplier.
+
+        Losses are log-uniform within the technology's range; the country
+        multiplier shifts the whole range (poorly provisioned national
+        networks lose more everywhere). Capped at 30%: beyond that a line
+        is unusable and would not appear in a measurement panel.
+        """
+        if multiplier <= 0:
+            raise MeasurementError(
+                f"loss multiplier must be positive, got {multiplier}"
+            )
+        lo, hi = self.loss_range
+        base = float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+        return min(0.30, base * multiplier)
+
+
+TECH_PROFILES: Mapping[PlanTechnology, TechnologyProfile] = {
+    PlanTechnology.FIBER: TechnologyProfile(
+        technology=PlanTechnology.FIBER,
+        rtt_range_ms=(4.0, 18.0),
+        loss_range=(2e-5, 3e-4),
+        max_capacity_mbps=1000.0,
+    ),
+    PlanTechnology.CABLE: TechnologyProfile(
+        technology=PlanTechnology.CABLE,
+        rtt_range_ms=(10.0, 35.0),
+        loss_range=(5e-5, 1.5e-3),
+        max_capacity_mbps=200.0,
+    ),
+    PlanTechnology.DSL: TechnologyProfile(
+        technology=PlanTechnology.DSL,
+        rtt_range_ms=(18.0, 60.0),
+        loss_range=(5e-5, 2.5e-3),
+        max_capacity_mbps=25.0,
+    ),
+    PlanTechnology.WIRELESS: TechnologyProfile(
+        technology=PlanTechnology.WIRELESS,
+        rtt_range_ms=(50.0, 350.0),
+        loss_range=(2e-3, 5e-2),
+        max_capacity_mbps=20.0,
+    ),
+    PlanTechnology.SATELLITE: TechnologyProfile(
+        technology=PlanTechnology.SATELLITE,
+        # Forward error correction keeps satellite loss moderate; the
+        # technology's handicap is latency, not loss.
+        rtt_range_ms=(480.0, 900.0),
+        loss_range=(5e-4, 8e-3),
+        max_capacity_mbps=15.0,
+        pep_rtt_ms=280.0,
+    ),
+}
+
+
+def sample_technology(
+    tech_mix: Mapping[PlanTechnology, float],
+    capacity_mbps: float,
+    rng: np.random.Generator,
+) -> PlanTechnology:
+    """Draw an access technology consistent with a subscriber's capacity.
+
+    The country's technology mix is restricted to technologies whose
+    ceiling can carry the plan's capacity, then renormalized. A country
+    whose mix cannot deliver the capacity at all falls back to fiber (the
+    only technology without a practical ceiling here).
+    """
+    if capacity_mbps <= 0:
+        raise MeasurementError(
+            f"capacity must be positive, got {capacity_mbps}"
+        )
+    feasible = {
+        tech: share
+        for tech, share in tech_mix.items()
+        if TECH_PROFILES[tech].max_capacity_mbps >= capacity_mbps and share > 0
+    }
+    if not feasible:
+        return PlanTechnology.FIBER
+    techs = sorted(feasible, key=lambda t: t.value)
+    shares = np.array([feasible[t] for t in techs], dtype=float)
+    shares /= shares.sum()
+    return techs[int(rng.choice(len(techs), p=shares))]

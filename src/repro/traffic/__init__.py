@@ -1,0 +1,22 @@
+"""Traffic generation: diurnal patterns, session processes, BitTorrent.
+
+Produces the per-household downlink rate time series that the simulated
+measurement clients sample. The generator works at the Dasu resolution
+(one sample per ~30 s); coarser collectors (the FCC gateways' hourly byte
+counters) aggregate it.
+"""
+
+from .bittorrent import BitTorrentSchedule, draw_bt_sessions
+from .diurnal import diurnal_weight
+from .generator import UsageSeries, generate_usage_series
+from .sessions import draw_on_intervals, intervals_to_mask
+
+__all__ = [
+    "BitTorrentSchedule",
+    "UsageSeries",
+    "diurnal_weight",
+    "draw_bt_sessions",
+    "draw_on_intervals",
+    "generate_usage_series",
+    "intervals_to_mask",
+]

@@ -1,0 +1,157 @@
+"""Sec. 3 analyses: Figs. 2-5, Tables 1-2."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import capacity
+from repro.exceptions import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def fig2(dasu_users):
+    return capacity.figure2(dasu_users)
+
+
+@pytest.fixture(scope="module")
+def t1(dasu_users):
+    return capacity.table1(dasu_users)
+
+
+class TestFigure2:
+    def test_four_panels(self, fig2):
+        assert len(fig2.panels()) == 4
+
+    def test_correlations_strong(self, fig2):
+        # Paper: r >= 0.87 in every panel.
+        assert fig2.min_correlation > 0.8
+
+    def test_bt_inflates_usage(self, fig2):
+        for with_bt, without in (
+            (fig2.mean_with_bt, fig2.mean_no_bt),
+            (fig2.peak_with_bt, fig2.peak_no_bt),
+        ):
+            shared = 0
+            higher = 0
+            for point in with_bt.points:
+                other = without.point_for(point.center_mbps)
+                if other is not None:
+                    shared += 1
+                    if point.average >= other.average:
+                        higher += 1
+            assert shared > 3
+            assert higher >= shared * 0.7
+
+    def test_usage_grows_with_capacity(self, fig2):
+        points = fig2.peak_no_bt.points
+        assert points[-1].average > 3 * points[0].average
+
+    def test_utilization_declines_with_capacity(self, fig2):
+        points = fig2.peak_no_bt.points
+        first_util = points[0].average / points[0].center_mbps
+        last_util = points[-1].average / points[-1].center_mbps
+        assert last_util < first_util
+
+
+class TestFigure3:
+    def test_peak_nearly_identical(self, dasu_users, fcc_users):
+        result = capacity.figure3(dasu_users, fcc_users)
+        assert result.peak_ratio_dasu_over_fcc == pytest.approx(1.0, abs=0.45)
+
+    def test_dasu_mean_biased_high(self, dasu_users, fcc_users):
+        result = capacity.figure3(dasu_users, fcc_users)
+        assert result.mean_ratio_dasu_over_fcc > 0.9
+
+    def test_requires_both_datasets(self, dasu_users):
+        with pytest.raises(AnalysisError):
+            capacity.figure3(dasu_users, [])
+
+
+class TestTable1:
+    def test_has_observations(self, t1):
+        assert t1.n_observations > 10
+
+    def test_demand_increases_on_faster_network(self, t1):
+        # Paper: 66.8% (mean) and 70.3% (peak), decisively significant.
+        assert t1.average.fraction_holds > 0.52
+        assert t1.peak.fraction_holds > 0.52
+
+    def test_peak_effect_at_least_mean_like(self, t1):
+        assert t1.peak.fraction_holds > 0.5
+
+    def test_rows_structure(self, t1):
+        rows = t1.rows()
+        assert rows[0][0] == "Average usage"
+        assert rows[1][1] == 70.3
+
+    def test_with_bt_at_least_as_strong(self, dasu_users, t1):
+        # Paper: including BitTorrent, the effect is even stronger.
+        with_bt = capacity.table1(dasu_users, include_bt=True)
+        assert (
+            with_bt.peak.fraction_holds
+            >= t1.peak.fraction_holds - 0.1
+        )
+
+    def test_empty_users_rejected(self):
+        with pytest.raises(AnalysisError):
+            capacity.table1([])
+
+
+class TestFigure4:
+    def test_fast_network_usage_higher(self, dasu_users):
+        result = capacity.figure4(dasu_users)
+        assert result.median_fast_mean_mbps > result.median_slow_mean_mbps
+        assert result.median_fast_peak_mbps > result.median_slow_peak_mbps
+
+    def test_ratios_reported(self, dasu_users):
+        result = capacity.figure4(dasu_users)
+        assert result.mean_ratio_at_median > 1.0
+        assert result.peak_ratio_at_median > 1.0
+
+    def test_cdfs_valid(self, dasu_users):
+        result = capacity.figure4(dasu_users)
+        for xs, ps in (result.slow_mean_cdf, result.fast_peak_cdf):
+            assert ps[-1] == pytest.approx(1.0)
+
+
+class TestFigure5:
+    def test_cells_have_upgrades(self, dasu_users):
+        result = capacity.figure5(dasu_users)
+        assert result.cells
+        for cell in result.cells:
+            assert cell.target_tier.low >= cell.initial_tier.low
+            assert cell.n_switches >= 3
+
+    def test_low_tier_gains_dominate(self, dasu_users):
+        result = capacity.figure5(dasu_users, metric="peak", include_bt=False)
+        assert result.low_tier_gains_exceed_high()
+
+    def test_metric_validation(self, dasu_users):
+        with pytest.raises(AnalysisError):
+            capacity.figure5(dasu_users, metric="max")
+
+
+class TestTable2:
+    def test_dasu_rows(self, dasu_users):
+        result = capacity.table2(dasu_users, "dasu")
+        assert len(result.rows) >= 4
+        for row in result.rows:
+            assert row.treatment_bin.low == row.control_bin.high
+
+    def test_low_bins_support_hypothesis(self, dasu_users):
+        result = capacity.table2(dasu_users, "dasu")
+        low_rows = [r for r in result.rows if r.control_bin.high <= 6.4]
+        assert low_rows
+        fractions = [r.experiment.result.fraction_holds for r in low_rows]
+        assert np.mean(fractions) > 0.52
+
+    def test_fcc_rows(self, fcc_users):
+        result = capacity.table2(fcc_users, "fcc", min_group_users=10)
+        assert result.rows
+        fractions = [r.experiment.result.fraction_holds for r in result.rows]
+        assert np.mean(fractions) > 0.52
+
+    def test_row_lookup(self, dasu_users):
+        result = capacity.table2(dasu_users, "dasu")
+        row = result.rows[0]
+        assert result.row_for(row.control_bin.low) == row
+        assert result.row_for(999.0) is None

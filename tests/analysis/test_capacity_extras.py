@@ -1,0 +1,71 @@
+"""Additional capacity-analysis surface: elasticity and curve helpers."""
+
+import pytest
+
+from repro.analysis import capacity
+from repro.exceptions import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def fig2(dasu_users):
+    return capacity.figure2(dasu_users)
+
+
+class TestDemandElasticity:
+    def test_elasticity_well_below_proportional(self, fig2):
+        # The law of diminishing returns: demand grows far sub-linearly
+        # with capacity.
+        elasticity = fig2.demand_elasticity()
+        assert 0.2 < elasticity < 0.85
+
+    def test_diminishing_returns_uses_elasticity(self, fig2):
+        assert fig2.diminishing_returns() == (
+            fig2.demand_elasticity() < 0.85
+            and fig2.peak_no_bt.points[-1].average
+            / fig2.peak_no_bt.points[-1].center_mbps
+            < fig2.peak_no_bt.points[0].average
+            / fig2.peak_no_bt.points[0].center_mbps
+        )
+
+    def test_threshold_parameter(self, fig2):
+        # An absurdly strict threshold fails; a loose one passes.
+        assert not fig2.diminishing_returns(elasticity_threshold=0.01)
+        assert fig2.diminishing_returns(elasticity_threshold=0.99)
+
+
+class TestCurveHelpers:
+    def test_point_for_out_of_range(self, fig2):
+        assert fig2.peak_no_bt.point_for(1e9) is None
+
+    def test_panels_cover_bt_combinations(self, fig2):
+        labels = [label for label, _ in fig2.panels()]
+        assert any("w/ BT" in label for label in labels)
+        assert any("no BT" in label for label in labels)
+
+    def test_upgrade_observations_unique_users(self, dasu_users):
+        observations = capacity.upgrade_observations(dasu_users)
+        user_ids = [o.user_id for o in observations]
+        assert len(user_ids) == len(set(user_ids))
+        for obs in observations:
+            assert obs.capacity_ratio >= 1.25
+
+
+class TestTable2Options:
+    def test_custom_confounders(self, dasu_users):
+        result = capacity.table2(
+            dasu_users, "dasu", confounders=("latency", "loss")
+        )
+        assert result.rows
+        # Looser confounding yields at least as many pairs per row.
+        strict = capacity.table2(dasu_users, "dasu")
+        loose_pairs = sum(r.experiment.result.n_pairs for r in result.rows)
+        strict_pairs = sum(r.experiment.result.n_pairs for r in strict.rows)
+        assert loose_pairs >= strict_pairs
+
+    def test_mean_metric_variant(self, dasu_users):
+        result = capacity.table2(dasu_users, "dasu", metric="mean")
+        assert result.rows
+
+    def test_min_group_users_filters(self, dasu_users):
+        tight = capacity.table2(dasu_users, "dasu", min_group_users=10_000)
+        assert not tight.rows

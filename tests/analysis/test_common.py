@@ -1,0 +1,130 @@
+"""Shared analysis building blocks."""
+
+import math
+
+import pytest
+
+from repro.analysis.common import (
+    binned_demand_curve,
+    curve_correlation,
+    demand_outcome,
+    matched_experiment,
+    standard_confounders,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestDemandOutcome:
+    def test_peak_no_bt(self, dasu_users):
+        outcome = demand_outcome("peak", include_bt=False)
+        user = dasu_users[0]
+        assert outcome(user) == user.peak_no_bt_mbps
+
+    def test_mean_with_bt(self, dasu_users):
+        outcome = demand_outcome("mean", include_bt=True)
+        user = dasu_users[0]
+        assert outcome(user) == user.mean_mbps
+
+    def test_unknown_metric(self):
+        with pytest.raises(AnalysisError):
+            demand_outcome("median", include_bt=False)
+
+
+class TestStandardConfounders:
+    def test_known_names_resolve(self):
+        extractors = standard_confounders(["capacity", "latency", "loss"])
+        assert len(extractors) == 3
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(AnalysisError):
+            standard_confounders(["weather"])
+
+    def test_loss_floored(self, dasu_users):
+        extractor = standard_confounders(["loss"])[0]
+        assert all(extractor(u) > 0 for u in dasu_users[:50])
+
+
+class TestBinnedDemandCurve:
+    def test_points_ordered_by_capacity(self, dasu_users):
+        curve = binned_demand_curve(dasu_users, "peak", include_bt=False)
+        lows = [p.bin.low for p in curve.points]
+        assert lows == sorted(lows)
+
+    def test_bin_members_counted(self, dasu_users):
+        curve = binned_demand_curve(dasu_users, "mean", include_bt=True)
+        assert sum(p.n_users for p in curve.points) <= len(dasu_users)
+        assert all(p.n_users >= 5 for p in curve.points)
+
+    def test_demand_grows_with_capacity(self, dasu_users):
+        curve = binned_demand_curve(dasu_users, "peak", include_bt=False)
+        first, last = curve.points[0], curve.points[-1]
+        assert last.average > first.average
+
+    def test_correlation_strong(self, dasu_users):
+        curve = binned_demand_curve(dasu_users, "peak", include_bt=False)
+        assert curve.correlation > 0.8
+
+    def test_ci_contains_average(self, dasu_users):
+        curve = binned_demand_curve(dasu_users, "mean", include_bt=False)
+        for point in curve.points:
+            assert point.ci.low <= point.average <= point.ci.high
+
+    def test_point_for_lookup(self, dasu_users):
+        curve = binned_demand_curve(dasu_users, "peak", include_bt=False)
+        point = curve.points[2]
+        assert curve.point_for(point.center_mbps) == point
+
+    def test_min_users_respected(self, dasu_users):
+        strict = binned_demand_curve(
+            dasu_users, "peak", include_bt=False, min_users=50
+        )
+        assert all(p.n_users >= 50 for p in strict.points)
+
+
+class TestCurveCorrelation:
+    def test_too_few_points_is_nan(self):
+        assert math.isnan(curve_correlation([]))
+
+
+class TestMatchedExperiment:
+    def test_basic_run(self, dasu_users):
+        low = [u for u in dasu_users if u.capacity_down_mbps <= 8.0]
+        high = [u for u in dasu_users if u.capacity_down_mbps > 8.0]
+        result = matched_experiment(
+            "test",
+            low,
+            high,
+            confounders=("latency", "loss"),
+            outcome=demand_outcome("peak", include_bt=False),
+        )
+        assert result.result.n_pairs > 10
+        assert 0.0 <= result.result.fraction_holds <= 1.0
+
+    def test_pairs_respect_caliper(self, dasu_users):
+        low = [u for u in dasu_users if u.capacity_down_mbps <= 8.0]
+        high = [u for u in dasu_users if u.capacity_down_mbps > 8.0]
+        result = matched_experiment(
+            "test",
+            low,
+            high,
+            confounders=("latency",),
+            outcome=demand_outcome("peak", include_bt=False),
+        )
+        for pair in result.matching.pairs:
+            ratio = pair.control.latency_ms / pair.treatment.latency_ms
+            assert 1 / 1.2501 <= ratio <= 1.2501
+
+    def test_missing_confounders_excluded(self, dasu_users):
+        # Users without an upgrade-cost estimate must be dropped, not crash.
+        result = matched_experiment(
+            "test",
+            dasu_users[: len(dasu_users) // 2],
+            dasu_users[len(dasu_users) // 2 :],
+            confounders=("upgrade_cost",),
+            outcome=demand_outcome("mean", include_bt=False),
+        )
+        eligible = result.matching.n_control + result.matching.n_treatment
+        with_cost = sum(
+            1 for u in dasu_users if u.upgrade_cost_usd_per_mbps is not None
+        )
+        assert eligible <= with_cost

@@ -1,0 +1,118 @@
+"""Sec. 6: cost of increasing capacity (Fig. 10, Tables 5-6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import upgrade_cost
+from repro.exceptions import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def fig10(small_world):
+    return upgrade_cost.figure10(small_world.survey)
+
+
+class TestFigure10:
+    def test_covers_most_countries(self, fig10, small_world):
+        assert fig10.n_countries > 0.6 * len(small_world.survey.countries)
+
+    def test_paper_anchor_order(self, fig10):
+        # Japan/South Korea at the cheap end, US/Canada mid, Ghana/Uganda
+        # expensive — exactly Fig. 10's annotations.
+        for cheap in ("Japan", "South Korea"):
+            q = fig10.quantile_of(cheap)
+            assert q is not None and q < 0.25
+        us = fig10.quantile_of("US")
+        assert us is not None and 0.05 < us < 0.65
+        for pricey in ("Ghana", "Uganda"):
+            q = fig10.quantile_of(pricey)
+            assert q is not None and q > 0.6
+
+    def test_developed_cheap_developing_expensive(self, fig10, small_world):
+        # Paper: < $1 in developed countries, can exceed $100 in
+        # developing ones.
+        costs = np.array(sorted(fig10.costs_by_country.values()))
+        assert costs[0] < 1.0
+        assert costs[-1] > 20.0
+
+    def test_cdf_valid(self, fig10):
+        xs, ps = fig10.cdf
+        assert np.all(np.diff(xs) > 0)
+        assert ps[-1] == pytest.approx(1.0)
+
+    def test_unknown_country(self, fig10):
+        assert fig10.cost_for("Atlantis") is None
+        assert fig10.quantile_of("Atlantis") is None
+
+
+class TestCorrelationSummary:
+    def test_near_paper_shares(self, small_world):
+        strong, moderate = upgrade_cost.correlation_summary(small_world.survey)
+        # Paper: 66% strong, 81% moderate.
+        assert 0.4 <= strong <= 0.95
+        assert 0.6 <= moderate <= 1.0
+
+
+class TestTable5:
+    def test_all_rows_present(self, small_world):
+        result = upgrade_cost.table5(small_world.survey)
+        assert len(result.rows) == 9
+
+    def test_shares_monotone(self, small_world):
+        result = upgrade_cost.table5(small_world.survey)
+        for row in result.rows:
+            if row.n_countries:
+                assert row.share_above_1 >= row.share_above_5 >= row.share_above_10
+
+    def test_africa_vs_developed_regions(self, small_world):
+        result = upgrade_cost.table5(small_world.survey)
+        africa = result.row_for("Africa")
+        assert africa.share_above_1 > 0.9
+        assert africa.share_above_10 > 0.4
+        for cheap_region in ("North America", "Asia (developed)"):
+            row = result.row_for(cheap_region)
+            if row.n_countries:
+                assert row.share_above_5 == 0.0
+
+    def test_europe_mostly_cheap(self, small_world):
+        europe = upgrade_cost.table5(small_world.survey).row_for("Europe")
+        assert europe.share_above_1 < 0.5
+
+    def test_asia_split_ordering(self, small_world):
+        result = upgrade_cost.table5(small_world.survey)
+        developed = result.row_for("Asia (developed)")
+        developing = result.row_for("Asia (developing)")
+        if developed.n_countries and developing.n_countries:
+            assert developing.share_above_1 > developed.share_above_1
+
+    def test_unknown_region_rejected(self, small_world):
+        result = upgrade_cost.table5(small_world.survey)
+        with pytest.raises(AnalysisError):
+            result.row_for("Antarctica")
+
+
+class TestTable6:
+    def test_groups_populated(self, dasu_users):
+        result = upgrade_cost.table6(dasu_users)
+        assert all(size > 10 for size in result.group_sizes)
+
+    def test_direction_of_effect(self, dasu_users):
+        result = upgrade_cost.table6(dasu_users, include_bt=False)
+        fractions = [
+            r.result.fraction_holds
+            for r in (result.low_vs_mid, result.mid_vs_high)
+            if r.result.n_pairs >= 50 and not math.isnan(r.result.fraction_holds)
+        ]
+        # Expensive upgrades push demand up, over comparisons with
+        # enough matched pairs to be meaningful at this world size.
+        assert fractions
+        assert np.mean(fractions) > 0.5
+
+    def test_rows_structure(self, dasu_users):
+        with_bt = upgrade_cost.table6(dasu_users, include_bt=True)
+        rows = with_bt.rows()
+        assert rows[0][1] == 53.8
+        without = upgrade_cost.table6(dasu_users, include_bt=False)
+        assert without.rows()[0][1] == 52.2

@@ -1,0 +1,132 @@
+"""Plan choice: need, want, can afford."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.choice import ChoiceModel
+from repro.behavior.population import PopulationModel
+from repro.exceptions import DatasetError
+from repro.market.countries import ANCHOR_PROFILES
+from repro.market.survey import generate_market
+
+
+def profile_named(name):
+    return [p for p in ANCHOR_PROFILES if p.name == name][0]
+
+
+def market_for(name, seed=1):
+    return generate_market(profile_named(name), np.random.default_rng(seed))
+
+
+def users_for(name, n=400, seed=0, model=None):
+    model = model or PopulationModel()
+    rng = np.random.default_rng(seed)
+    eco = profile_named(name).economy()
+    return [model.sample_user(f"u{i}", eco, rng) for i in range(n)], rng
+
+
+class TestPlanValue:
+    def test_increasing_in_capacity(self):
+        cm = ChoiceModel()
+        assert cm.plan_value(2.0, 8.0) > cm.plan_value(2.0, 2.0)
+
+    def test_saturates(self):
+        cm = ChoiceModel()
+        gain_low = cm.plan_value(2.0, 4.0) - cm.plan_value(2.0, 2.0)
+        gain_high = cm.plan_value(2.0, 100.0) - cm.plan_value(2.0, 98.0)
+        assert gain_high < gain_low / 10
+
+    def test_scales_with_need(self):
+        cm = ChoiceModel()
+        assert cm.plan_value(8.0, 100.0) > cm.plan_value(1.0, 100.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DatasetError):
+            ChoiceModel().plan_value(0.0, 1.0)
+
+    def test_invalid_model(self):
+        with pytest.raises(DatasetError):
+            ChoiceModel(value_scale=0.0)
+        with pytest.raises(DatasetError):
+            ChoiceModel(plan_noise_usd=-1.0)
+
+
+class TestChoose:
+    def test_unaffordable_market_yields_none(self):
+        market = market_for("Botswana")
+        cm = ChoiceModel()
+        users, rng = users_for("Botswana", n=600)
+        choices = [cm.choose(u, market, rng) for u in users]
+        # Botswana access is ~8% of monthly income: most candidates are
+        # priced out entirely.
+        assert choices.count(None) > len(choices) * 0.3
+
+    def test_us_everyone_subscribes(self):
+        market = market_for("US")
+        cm = ChoiceModel()
+        users, rng = users_for("US", n=300)
+        choices = [cm.choose(u, market, rng) for u in users]
+        assert choices.count(None) < len(choices) * 0.1
+
+    def test_higher_need_buys_more_capacity(self):
+        market = market_for("US")
+        cm = ChoiceModel()
+        users, rng = users_for("US", n=800)
+        chosen = [(u.need_mbps, cm.choose(u, market, rng)) for u in users]
+        low = [c.plan.download_mbps for n, c in chosen if c and n < 1.0]
+        high = [c.plan.download_mbps for n, c in chosen if c and n > 8.0]
+        assert np.median(high) > 2 * np.median(low)
+
+    def test_cheap_slope_overprovisions(self):
+        # Cheap upgrades (Japan) make households buy far more headroom
+        # over their need than expensive upgrades do (US) — the
+        # mechanism behind Japan's ~10% peak utilization in Fig. 8d.
+        cm = ChoiceModel()
+        headroom = {}
+        for name in ("US", "Japan"):
+            market = market_for(name)
+            users, rng = users_for(name, n=800)
+            ratios = []
+            for user in users:
+                choice = cm.choose(user, market, rng)
+                if choice is not None:
+                    ratios.append(choice.plan.download_mbps / user.need_mbps)
+            headroom[name] = float(np.median(ratios))
+        assert headroom["Japan"] > 1.5 * headroom["US"]
+
+    def test_promoted_tier_creates_cluster(self):
+        profile = profile_named("Saudi Arabia")
+        market = market_for("Saudi Arabia")
+        cm = ChoiceModel()
+        users, rng = users_for("Saudi Arabia", n=600)
+        chosen = [
+            cm.choose(
+                u,
+                market,
+                rng,
+                promoted_tier_mbps=profile.promoted_tier_mbps,
+                promoted_adoption=profile.promoted_adoption,
+            )
+            for u in users
+        ]
+        taken = [c for c in chosen if c]
+        promoted = [c for c in taken if c.took_promoted_tier]
+        assert len(promoted) > len(taken) * 0.15
+
+    def test_dedicated_plans_never_chosen(self):
+        market = market_for("Afghanistan", seed=3)
+        cm = ChoiceModel()
+        users, rng = users_for("Afghanistan", n=400)
+        for user in users:
+            choice = cm.choose(user, market, rng)
+            if choice is not None:
+                assert not choice.plan.dedicated
+
+    def test_budget_respected(self):
+        market = market_for("US")
+        cm = ChoiceModel()
+        users, rng = users_for("US", n=300)
+        for user in users:
+            choice = cm.choose(user, market, rng)
+            if choice is not None:
+                assert choice.plan.monthly_price_usd_ppp <= user.budget_usd_ppp

@@ -1,0 +1,102 @@
+"""QoE suppression and demand processes."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.demand import DemandProcess, qoe_multiplier
+from repro.behavior.population import PopulationModel
+from repro.exceptions import DatasetError
+from repro.market.countries import ANCHOR_PROFILES
+from repro.market.plans import PlanTechnology
+from repro.network.link import AccessLink
+from repro.network.path import NetworkPath
+
+
+class TestQoeMultiplier:
+    def test_clean_fast_connection_unsuppressed(self):
+        assert qoe_multiplier(30.0, 0.0001) == pytest.approx(1.0, abs=0.02)
+
+    def test_latency_below_knee_unaffected(self):
+        assert qoe_multiplier(140.0, 0.0) == 1.0
+
+    def test_long_latency_suppresses(self):
+        # Paper: above ~500 ms usage is clearly lower.
+        assert qoe_multiplier(600.0, 0.0) < 0.75
+
+    def test_latency_monotone(self):
+        values = [qoe_multiplier(r, 0.0) for r in (100, 300, 600, 1200)]
+        assert values == sorted(values, reverse=True)
+
+    def test_loss_below_knee_unaffected(self):
+        assert qoe_multiplier(50.0, 0.0005) == 1.0
+
+    def test_high_loss_suppresses_strongly(self):
+        # Paper: above 1% loss, usage is significantly lower.
+        assert qoe_multiplier(50.0, 0.03) < 0.4
+
+    def test_loss_monotone(self):
+        values = [qoe_multiplier(50.0, p) for p in (0.0005, 0.003, 0.01, 0.05)]
+        assert values == sorted(values, reverse=True)
+
+    def test_effects_multiply(self):
+        combined = qoe_multiplier(600.0, 0.02)
+        assert combined == pytest.approx(
+            qoe_multiplier(600.0, 0.0) * qoe_multiplier(1.0, 0.02), rel=0.05
+        )
+
+    def test_invalid_rtt(self):
+        with pytest.raises(DatasetError):
+            qoe_multiplier(0.0, 0.01)
+
+    def test_invalid_loss(self):
+        with pytest.raises(DatasetError):
+            qoe_multiplier(50.0, 1.0)
+
+
+def make_path(rtt=20.0, loss=0.0002, download=10.0, tech=PlanTechnology.CABLE):
+    link = AccessLink(download, 1.0, tech, rtt, loss)
+    return NetworkPath(link, 20.0, 2.0, 0.0)
+
+
+def make_user(seed=0):
+    rng = np.random.default_rng(seed)
+    eco = ANCHOR_PROFILES[0].economy()  # US
+    return PopulationModel().sample_user("u0", eco, rng)
+
+
+class TestDemandProcess:
+    def test_for_user_fields(self):
+        user = make_user()
+        process = DemandProcess.for_user(user, make_path())
+        assert process.offered_peak_mbps > 0
+        assert process.ceiling_mbps > 0
+        assert process.bt_user == user.bt_user
+
+    def test_clean_path_offers_full_need(self):
+        user = make_user()
+        process = DemandProcess.for_user(user, make_path())
+        assert process.offered_peak_mbps == pytest.approx(
+            user.need_mbps, rel=0.05
+        )
+
+    def test_bad_path_suppresses_offered_load(self):
+        user = make_user()
+        bad = make_path(rtt=600.0, loss=0.03, tech=PlanTechnology.WIRELESS)
+        process = DemandProcess.for_user(user, bad)
+        assert process.offered_peak_mbps < 0.6 * user.need_mbps
+
+    def test_ceiling_bounded_by_line_rate(self):
+        user = make_user()
+        process = DemandProcess.for_user(user, make_path(download=5.0))
+        assert process.ceiling_mbps <= 5.0
+
+    def test_invalid_process_rejected(self):
+        with pytest.raises(DatasetError):
+            DemandProcess(
+                offered_peak_mbps=0.0,
+                ceiling_mbps=1.0,
+                activity_level=0.5,
+                burstiness_sigma=1.0,
+                rate_median_share=0.3,
+                bt_user=False,
+            )

@@ -1,0 +1,120 @@
+"""Latent user population."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.population import LatentUser, PopulationModel
+from repro.exceptions import DatasetError
+from repro.market.currency import USD
+from repro.market.economy import DevelopmentLevel, Economy, Region
+
+
+def economy(gdp=49_797.0):
+    return Economy(
+        country="Testland",
+        region=Region.NORTH_AMERICA,
+        development=DevelopmentLevel.DEVELOPED,
+        gdp_per_capita_ppp_usd=gdp,
+        currency=USD,
+        internet_penetration=0.8,
+    )
+
+
+def sample_many(model, n=2000, gdp=49_797.0, seed=0, bt_population=True):
+    rng = np.random.default_rng(seed)
+    eco = economy(gdp)
+    return [
+        model.sample_user(f"u{i}", eco, rng, bt_population=bt_population)
+        for i in range(n)
+    ]
+
+
+class TestPopulationModel:
+    def test_need_distribution_median(self):
+        model = PopulationModel()
+        users = sample_many(model)
+        median = np.median([u.need_mbps for u in users])
+        assert median == pytest.approx(model.need_median_mbps, rel=0.15)
+
+    def test_need_is_heavy_tailed(self):
+        users = sample_many(PopulationModel())
+        needs = np.array([u.need_mbps for u in users])
+        assert np.percentile(needs, 95) > 5 * np.median(needs)
+
+    def test_budget_scales_with_income(self):
+        rich = sample_many(PopulationModel(), gdp=50_000.0)
+        poor = sample_many(PopulationModel(), gdp=2_000.0)
+        assert np.median([u.budget_usd_ppp for u in rich]) > 10 * np.median(
+            [u.budget_usd_ppp for u in poor]
+        )
+
+    def test_budget_floor(self):
+        users = sample_many(PopulationModel(), gdp=100.0)
+        assert min(u.budget_usd_ppp for u in users) >= 3.0
+
+    def test_bt_population_flag(self):
+        p2p = sample_many(PopulationModel(), n=1000, bt_population=True)
+        panel = sample_many(PopulationModel(), n=1000, bt_population=False)
+        bt_p2p = np.mean([u.bt_user for u in p2p])
+        bt_panel = np.mean([u.bt_user for u in panel])
+        assert bt_p2p > 0.5
+        assert bt_panel < 0.25
+
+    def test_growers_are_a_minority(self):
+        model = PopulationModel()
+        users = sample_many(model)
+        growers = [u for u in users if u.yearly_need_growth > 1.0]
+        share = len(growers) / len(users)
+        assert share == pytest.approx(model.grower_fraction, abs=0.05)
+
+    def test_growth_factor_substantial_for_growers(self):
+        users = sample_many(PopulationModel())
+        factors = [u.yearly_need_growth for u in users if u.yearly_need_growth > 1.0]
+        assert np.median(factors) > 1.4
+
+    def test_activity_scale_bounded_away_from_zero(self):
+        users = sample_many(PopulationModel())
+        assert min(u.activity_scale for u in users) >= 0.7
+
+    def test_grown_multiplies_need(self):
+        users = sample_many(PopulationModel(), n=200)
+        grower = next(u for u in users if u.yearly_need_growth > 1.0)
+        grown = grower.grown()
+        assert grown.need_mbps == pytest.approx(
+            grower.need_mbps * grower.yearly_need_growth
+        )
+
+    def test_grown_negative_years_rejected(self):
+        users = sample_many(PopulationModel(), n=10)
+        with pytest.raises(DatasetError):
+            users[0].grown(-1)
+
+    def test_invalid_model_parameters(self):
+        with pytest.raises(DatasetError):
+            PopulationModel(need_median_mbps=0.0)
+        with pytest.raises(DatasetError):
+            PopulationModel(budget_share_median=0.0)
+        with pytest.raises(DatasetError):
+            PopulationModel(grower_fraction=1.5)
+
+    def test_latent_user_validation(self):
+        users = sample_many(PopulationModel(), n=1)
+        user = users[0]
+        with pytest.raises(DatasetError):
+            LatentUser(
+                user_id="x",
+                country="Testland",
+                need_mbps=0.0,
+                budget_usd_ppp=user.budget_usd_ppp,
+                profile=user.profile,
+                bt_user=False,
+                taste_sigma=0.5,
+                activity_scale=1.0,
+                yearly_need_growth=1.0,
+                upgrade_threshold=0.5,
+            )
+
+    def test_deterministic(self):
+        a = sample_many(PopulationModel(), n=5, seed=9)
+        b = sample_many(PopulationModel(), n=5, seed=9)
+        assert [u.need_mbps for u in a] == [u.need_mbps for u in b]

@@ -1,0 +1,51 @@
+"""Application profiles."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.profiles import APPLICATION_PROFILES, ApplicationProfile, sample_profile
+from repro.exceptions import DatasetError
+
+
+class TestProfiles:
+    def test_shares_sum_to_one(self):
+        assert sum(share for _, share in APPLICATION_PROFILES) == pytest.approx(1.0)
+
+    def test_all_profiles_valid(self):
+        for profile, share in APPLICATION_PROFILES:
+            assert 0 < profile.activity_level <= 1
+            assert 0 < profile.rate_median_share <= 1
+            assert 0 <= profile.bt_propensity <= 1
+            assert share > 0
+
+    def test_downloader_has_highest_bt_propensity(self):
+        by_name = {p.name: p for p, _ in APPLICATION_PROFILES}
+        assert by_name["downloader"].bt_propensity == max(
+            p.bt_propensity for p, _ in APPLICATION_PROFILES
+        )
+
+    def test_streamer_sustains_higher_rates_than_browser(self):
+        by_name = {p.name: p for p, _ in APPLICATION_PROFILES}
+        assert (
+            by_name["streamer"].rate_median_share
+            > by_name["browser"].rate_median_share
+        )
+
+    def test_invalid_activity_rejected(self):
+        with pytest.raises(DatasetError):
+            ApplicationProfile("x", 0.0, 1.0, 0.3, 0.5)
+
+    def test_invalid_burstiness_rejected(self):
+        with pytest.raises(DatasetError):
+            ApplicationProfile("x", 0.5, 0.0, 0.3, 0.5)
+
+    def test_sampling_follows_mix(self):
+        rng = np.random.default_rng(0)
+        names = [sample_profile(rng).name for _ in range(2000)]
+        browser_share = names.count("browser") / len(names)
+        assert browser_share == pytest.approx(0.40, abs=0.05)
+
+    def test_sampling_deterministic(self):
+        a = sample_profile(np.random.default_rng(3)).name
+        b = sample_profile(np.random.default_rng(3)).name
+        assert a == b

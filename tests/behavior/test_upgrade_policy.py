@@ -1,0 +1,103 @@
+"""Yearly service reviews."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.choice import ChoiceModel
+from repro.behavior.population import PopulationModel
+from repro.behavior.upgrades import UpgradePolicy
+from repro.exceptions import DatasetError
+from repro.market.countries import ANCHOR_PROFILES
+from repro.market.survey import generate_market
+
+
+def us_setup(seed=0):
+    profile = [p for p in ANCHOR_PROFILES if p.name == "US"][0]
+    rng = np.random.default_rng(seed)
+    market = generate_market(profile, rng)
+    user = PopulationModel().sample_user("u0", profile.economy(), rng)
+    policy = UpgradePolicy(ChoiceModel(), move_probability=0.0)
+    return user, market, policy, rng
+
+
+class TestUpgradePolicy:
+    def test_content_user_stays(self):
+        user, market, policy, rng = us_setup()
+        decision = policy.review(user, market, 10.0, 0.1, rng)
+        assert not decision.switched
+        assert decision.reason == "content"
+
+    def test_saturated_user_reconsiders(self):
+        user, market, policy, rng = us_setup()
+        decision = policy.review(user, market, 0.5, 1.0, rng)
+        # A saturated 0.5 Mbps US line: any normal need justifies a jump.
+        if user.need_mbps > 0.5:
+            assert decision.switched
+
+    def test_growth_triggers_review(self):
+        user, market, policy, rng = us_setup(seed=4)
+        grown = user
+        for _ in range(2):
+            grown = grown.grown() if grown.yearly_need_growth > 1 else grown
+        decision = policy.review(
+            grown, market, 1.0, 0.2, rng, need_grew=True
+        )
+        # With low utilization and no growth the user would stay; the
+        # growth flag forces the re-choice.
+        assert decision.reason != "content"
+
+    def test_small_changes_not_switches(self):
+        user, market, policy, rng = us_setup()
+        # A user whose optimum is their current plan does not churn.
+        choice = ChoiceModel().choose(user, market, np.random.default_rng(1))
+        assert choice is not None
+        current = choice.plan.download_mbps
+        switches = 0
+        for i in range(30):
+            decision = policy.review(
+                user, market, current, 1.0, np.random.default_rng(i)
+            )
+            if decision.switched:
+                assert (
+                    decision.choice.plan.download_mbps >= 1.25 * current
+                )
+                switches += 1
+        # Occasional noise-driven jumps are allowed but not the rule.
+        assert switches < 15
+
+    def test_moves_force_new_line_any_speed(self):
+        user, market, policy, rng = us_setup()
+        mover = UpgradePolicy(ChoiceModel(), move_probability=1.0)
+        decision = mover.review(user, market, 10.0, 0.0, rng)
+        assert decision.switched
+        assert decision.reason == "moved"
+
+    def test_unaffordable_market_blocks_upgrade(self):
+        profile = [p for p in ANCHOR_PROFILES if p.name == "Botswana"][0]
+        rng = np.random.default_rng(0)
+        market = generate_market(profile, rng)
+        policy = UpgradePolicy(ChoiceModel(), move_probability=0.0)
+        # Find a candidate too poor for any Botswana plan.
+        model = PopulationModel()
+        cm = ChoiceModel()
+        for i in range(300):
+            user = model.sample_user(f"u{i}", profile.economy(), rng)
+            if cm.choose(user, market, rng) is None:
+                decision = policy.review(user, market, 0.25, 1.0, rng)
+                assert not decision.switched
+                assert decision.reason == "nothing affordable"
+                return
+        pytest.fail("no priced-out candidate found")
+
+    def test_invalid_inputs(self):
+        user, market, policy, rng = us_setup()
+        with pytest.raises(DatasetError):
+            policy.review(user, market, 0.0, 0.5, rng)
+        with pytest.raises(DatasetError):
+            policy.review(user, market, 1.0, 1.5, rng)
+
+    def test_invalid_policy_parameters(self):
+        with pytest.raises(DatasetError):
+            UpgradePolicy(ChoiceModel(), move_probability=2.0)
+        with pytest.raises(DatasetError):
+            UpgradePolicy(ChoiceModel(), min_change_ratio=1.0)

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixture is ``small_world``: a fully built synthetic world,
+large enough for every analysis to run, small enough to build in a few
+seconds. It is session-scoped and shared by the integration and analysis
+tests; unit tests build their own tiny inputs instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import World, WorldConfig, build_world
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+SMALL_WORLD_CONFIG = WorldConfig(
+    seed=7,
+    n_dasu_users=2500,
+    n_fcc_users=500,
+    days_per_year=1.5,
+)
+
+
+@pytest.fixture(scope="session")
+def small_world() -> World:
+    """A compact but fully featured world, built once per test session."""
+    return build_world(SMALL_WORLD_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def dasu_users(small_world: World):
+    return small_world.dasu.users
+
+
+@pytest.fixture(scope="session")
+def fcc_users(small_world: World):
+    return small_world.fcc.users

@@ -1,0 +1,181 @@
+"""Capacity classes and bin machinery."""
+
+import math
+
+import pytest
+
+from repro.core import binning
+from repro.exceptions import BinningError
+
+
+class TestBin:
+    def test_lower_edge_exclusive(self):
+        b = binning.Bin(1.0, 2.0)
+        assert 1.0 not in b
+
+    def test_upper_edge_inclusive(self):
+        b = binning.Bin(1.0, 2.0)
+        assert 2.0 in b
+
+    def test_interior(self):
+        assert 1.5 in binning.Bin(1.0, 2.0)
+
+    def test_outside(self):
+        b = binning.Bin(1.0, 2.0)
+        assert 0.5 not in b
+        assert 2.5 not in b
+
+    def test_non_number_not_contained(self):
+        assert "x" not in binning.Bin(1.0, 2.0)
+
+    def test_empty_bin_rejected(self):
+        with pytest.raises(BinningError):
+            binning.Bin(2.0, 2.0)
+
+    def test_label(self):
+        assert binning.Bin(3.2, 6.4).label() == "(3.2, 6.4] Mbps"
+
+    def test_label_infinite(self):
+        assert "inf" in binning.Bin(32.0, math.inf).label()
+
+    def test_width(self):
+        assert binning.Bin(1.0, 3.0).width == 2.0
+
+
+class TestCapacityClass:
+    def test_paper_class_definition(self):
+        # Class k is (100 kbps * 2^(k-1), 100 kbps * 2^k].
+        assert binning.capacity_class(0.15) == 1
+        assert binning.capacity_class(0.2) == 1
+        assert binning.capacity_class(0.201) == 2
+        assert binning.capacity_class(0.4) == 2
+
+    def test_upper_edges_belong_to_class(self):
+        for k in range(1, 12):
+            upper = binning.CAPACITY_CLASS_BASE_MBPS * 2**k
+            assert binning.capacity_class(upper) == k
+
+    def test_just_above_edge_next_class(self):
+        for k in range(1, 10):
+            upper = binning.CAPACITY_CLASS_BASE_MBPS * 2**k
+            assert binning.capacity_class(upper * 1.0001) == k + 1
+
+    def test_sub_base_maps_to_class_one(self):
+        assert binning.capacity_class(0.05) == 1
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(BinningError):
+            binning.capacity_class(0.0)
+
+    def test_bounds_round_trip(self):
+        for k in range(1, 12):
+            bounds = binning.capacity_class_bounds(k)
+            mid = math.sqrt(bounds.low * bounds.high)
+            assert binning.capacity_class(mid) == k
+
+    def test_bounds_invalid_class(self):
+        with pytest.raises(BinningError):
+            binning.capacity_class_bounds(0)
+
+    def test_spec_covers_contiguously(self):
+        spec = binning.capacity_class_spec(10)
+        for left, right in zip(spec, list(spec)[1:]):
+            assert left.high == right.low
+
+
+class TestBinSpec:
+    def test_index_of(self):
+        spec = binning.explicit_bins([(0.0, 1.0), (1.0, 8.0)])
+        assert spec.index_of(0.5) == 0
+        assert spec.index_of(1.0) == 0
+        assert spec.index_of(4.0) == 1
+        assert spec.index_of(9.0) is None
+
+    def test_bin_of_none_outside(self):
+        spec = binning.explicit_bins([(1.0, 2.0)])
+        assert spec.bin_of(5.0) is None
+
+    def test_overlapping_rejected(self):
+        with pytest.raises(BinningError):
+            binning.explicit_bins([(0.0, 2.0), (1.0, 3.0)])
+
+    def test_gaps_allowed(self):
+        spec = binning.explicit_bins([(0.0, 1.0), (2.0, 3.0)])
+        assert spec.bin_of(1.5) is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(BinningError):
+            binning.BinSpec([])
+
+    def test_ordering_normalized(self):
+        spec = binning.explicit_bins([(2.0, 3.0), (0.0, 1.0)])
+        assert spec[0].low == 0.0
+
+    def test_group_drops_out_of_range(self):
+        spec = binning.explicit_bins([(0.0, 1.0)])
+        grouped = spec.group([(0.5, "a"), (2.0, "b")])
+        assert sum(len(v) for v in grouped.values()) == 1
+
+    def test_group_collects_payloads(self):
+        spec = binning.explicit_bins([(0.0, 1.0), (1.0, 2.0)])
+        grouped = spec.group([(0.5, "a"), (0.7, "b"), (1.5, "c")])
+        assert grouped[spec[0]] == ["a", "b"]
+        assert grouped[spec[1]] == ["c"]
+
+    def test_len_and_getitem(self):
+        spec = binning.explicit_bins([(0.0, 1.0), (1.0, 2.0)])
+        assert len(spec) == 2
+        assert spec[1].high == 2.0
+
+
+class TestGeometricBins:
+    def test_doubling(self):
+        spec = binning.geometric_bins(0.1, 3)
+        assert spec[0].low == pytest.approx(0.1)
+        assert spec[0].high == pytest.approx(0.2)
+        assert spec[2].high == pytest.approx(0.8)
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(BinningError):
+            binning.geometric_bins(0.0, 3)
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(BinningError):
+            binning.geometric_bins(1.0, 3, ratio=1.0)
+
+
+class TestPaperBinConstants:
+    def test_case_study_tiers_cover_all_capacities(self):
+        spec = binning.explicit_bins(binning.CASE_STUDY_TIERS)
+        for capacity in (0.3, 1.0, 5.0, 12.0, 20.0, 100.0, 900.0):
+            assert spec.bin_of(capacity) is not None
+
+    def test_price_bins_match_paper(self):
+        spec = binning.explicit_bins(binning.PRICE_OF_ACCESS_BINS_USD)
+        assert spec.index_of(20.0) == 0
+        assert spec.index_of(25.0) == 0
+        assert spec.index_of(40.0) == 1
+        assert spec.index_of(60.0) == 1
+        assert spec.index_of(150.0) == 2
+
+    def test_upgrade_cost_bins_match_paper(self):
+        spec = binning.explicit_bins(binning.UPGRADE_COST_BINS_USD)
+        assert spec.index_of(0.5) == 0
+        assert spec.index_of(0.9) == 1
+        assert spec.index_of(40.0) == 2
+
+    def test_latency_bins_match_table7(self):
+        spec = binning.explicit_bins(binning.LATENCY_BINS_MS)
+        assert len(spec) == 5
+        assert spec[4].low == 512.0
+        assert spec[4].high == 2048.0
+
+    def test_loss_bins_match_table8(self):
+        spec = binning.explicit_bins(binning.LOSS_BINS_FRACTION)
+        # Fractions of 0.01% / 0.1% / 1% / 15%.
+        assert spec[0].high == pytest.approx(1e-4)
+        assert spec[3].high == pytest.approx(0.15)
+
+    def test_upgrade_tiers_match_fig5(self):
+        assert binning.UPGRADE_TIERS_MBPS[0] == (0.25, 1.0)
+        assert binning.UPGRADE_TIERS_MBPS[-1] == (64.0, 256.0)

@@ -1,0 +1,117 @@
+"""The natural-experiment framework."""
+
+import pytest
+
+from repro.core import experiments
+from repro.exceptions import ExperimentError
+
+
+def outcomes(pairs):
+    return [experiments.PairedOutcome(c, t) for c, t in pairs]
+
+
+class TestPairedOutcome:
+    def test_holds_when_treatment_greater(self):
+        assert experiments.PairedOutcome(1.0, 2.0).hypothesis_holds
+
+    def test_does_not_hold_when_smaller(self):
+        assert not experiments.PairedOutcome(2.0, 1.0).hypothesis_holds
+
+    def test_tie_detection(self):
+        outcome = experiments.PairedOutcome(1.0, 1.0)
+        assert outcome.is_tie
+        assert not outcome.hypothesis_holds
+
+
+class TestNaturalExperiment:
+    def test_counts(self):
+        exp = experiments.NaturalExperiment("test")
+        result = exp.evaluate(outcomes([(1, 2), (1, 2), (2, 1), (1, 1)]))
+        assert result.n_pairs == 3  # tie dropped
+        assert result.n_holds == 2
+        assert result.n_ties == 1
+        assert result.fraction_holds == pytest.approx(2 / 3)
+
+    def test_paper_table1_analogue(self):
+        # 70.3% of 520 pairs: decisively significant and important.
+        exp = experiments.NaturalExperiment("peak usage")
+        result = exp.evaluate(
+            outcomes([(0, 1)] * 366 + [(1, 0)] * 154)
+        )
+        assert result.statistically_significant
+        assert result.practically_important
+        assert result.rejects_null
+
+    def test_chance_level_not_significant(self):
+        exp = experiments.NaturalExperiment("chance")
+        result = exp.evaluate(outcomes([(0, 1), (1, 0)] * 50))
+        assert not result.statistically_significant
+        assert not result.rejects_null
+
+    def test_practical_margin_blocks_tiny_effects(self):
+        # 51% of 100,000 pairs: statistically significant but below the
+        # 2% practical margin — the Paxson critique the paper guards
+        # against.
+        exp = experiments.NaturalExperiment("tiny effect")
+        result = exp.evaluate(
+            outcomes([(0, 1)] * 51_000 + [(1, 0)] * 49_000)
+        )
+        assert result.statistically_significant
+        assert not result.practically_important
+        assert not result.rejects_null
+
+    def test_exactly_52_percent_is_practically_important(self):
+        exp = experiments.NaturalExperiment("margin")
+        result = exp.evaluate(outcomes([(0, 1)] * 52 + [(1, 0)] * 48))
+        assert result.practically_important
+
+    def test_empty_outcomes(self):
+        exp = experiments.NaturalExperiment("empty")
+        result = exp.evaluate([])
+        assert result.n_pairs == 0
+        assert not result.rejects_null
+
+    def test_all_ties(self):
+        exp = experiments.NaturalExperiment("ties")
+        result = exp.evaluate(outcomes([(1, 1)] * 10))
+        assert result.n_pairs == 0
+        assert result.n_ties == 10
+
+    def test_evaluate_values(self):
+        exp = experiments.NaturalExperiment("values")
+        result = exp.evaluate_values([1.0, 1.0], [2.0, 0.5])
+        assert result.n_pairs == 2
+        assert result.n_holds == 1
+
+    def test_evaluate_values_length_mismatch(self):
+        exp = experiments.NaturalExperiment("bad")
+        with pytest.raises(ExperimentError):
+            exp.evaluate_values([1.0], [2.0, 3.0])
+
+    def test_row_marks_insignificance(self):
+        exp = experiments.NaturalExperiment("row")
+        result = exp.evaluate(outcomes([(0, 1), (1, 0)] * 10))
+        assert "*" in result.row()
+
+    def test_row_plain_when_significant(self):
+        exp = experiments.NaturalExperiment("row")
+        result = exp.evaluate(outcomes([(0, 1)] * 100))
+        assert "*" not in result.row()
+
+    def test_invalid_null_probability(self):
+        with pytest.raises(ExperimentError):
+            experiments.NaturalExperiment("x", null_probability=1.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ExperimentError):
+            experiments.NaturalExperiment("x", alpha=0.0)
+
+    def test_invalid_margin(self):
+        with pytest.raises(ExperimentError):
+            experiments.NaturalExperiment("x", practical_margin=0.5)
+
+    def test_fraction_nan_when_empty(self):
+        import math
+
+        result = experiments.NaturalExperiment("x").evaluate([])
+        assert math.isnan(result.fraction_holds)

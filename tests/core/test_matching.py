@@ -1,0 +1,147 @@
+"""Nearest-neighbor matching with a caliper."""
+
+import pytest
+
+from repro.core import matching
+from repro.exceptions import MatchingError
+
+
+class TestCaliperCompatible:
+    def test_within_25_percent(self):
+        # The paper's example: 50 ms and 62 ms are similar.
+        assert matching.caliper_compatible(50.0, 62.0)
+
+    def test_beyond_25_percent(self):
+        assert not matching.caliper_compatible(50.0, 63.0)
+
+    def test_symmetric(self):
+        assert matching.caliper_compatible(62.0, 50.0)
+
+    def test_equal_values(self):
+        assert matching.caliper_compatible(3.0, 3.0)
+
+    def test_both_zero_compatible(self):
+        assert matching.caliper_compatible(0.0, 0.0)
+
+    def test_zero_vs_large_incompatible(self):
+        assert not matching.caliper_compatible(0.0, 1.0)
+
+    def test_tiny_values_treated_as_zero(self):
+        assert matching.caliper_compatible(1e-9, 1e-8)
+
+    def test_custom_caliper(self):
+        assert matching.caliper_compatible(10.0, 14.0, caliper=0.5)
+        assert not matching.caliper_compatible(10.0, 16.0, caliper=0.5)
+
+    def test_invalid_caliper_rejected(self):
+        with pytest.raises(MatchingError):
+            matching.caliper_compatible(1.0, 1.0, caliper=0.0)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(MatchingError):
+            matching.caliper_compatible(-1.0, 1.0)
+
+
+def by_value(unit):
+    return unit["v"]
+
+
+def by_weight(unit):
+    return unit["w"]
+
+
+class TestMatchPairs:
+    def test_exact_partners_matched(self):
+        control = [{"v": 1.0}, {"v": 10.0}]
+        treatment = [{"v": 10.0}, {"v": 1.0}]
+        summary = matching.match_pairs(control, treatment, [by_value])
+        assert summary.n_matched == 2
+        for pair in summary.pairs:
+            assert pair.control["v"] == pair.treatment["v"]
+
+    def test_caliper_blocks_distant_pairs(self):
+        control = [{"v": 1.0}]
+        treatment = [{"v": 2.0}]
+        summary = matching.match_pairs(control, treatment, [by_value])
+        assert summary.n_matched == 0
+
+    def test_one_to_one_without_replacement(self):
+        control = [{"v": 1.0}]
+        treatment = [{"v": 1.0}, {"v": 1.01}, {"v": 1.02}]
+        summary = matching.match_pairs(control, treatment, [by_value])
+        assert summary.n_matched == 1
+
+    def test_greedy_prefers_closest(self):
+        control = [{"v": 1.0}]
+        treatment = [{"v": 1.2}, {"v": 1.01}]
+        summary = matching.match_pairs(control, treatment, [by_value])
+        assert summary.pairs[0].treatment["v"] == 1.01
+
+    def test_multiple_confounders_all_must_match(self):
+        control = [{"v": 1.0, "w": 1.0}]
+        treatment = [{"v": 1.0, "w": 5.0}, {"v": 1.1, "w": 1.1}]
+        summary = matching.match_pairs(
+            control, treatment, [by_value, by_weight]
+        )
+        assert summary.n_matched == 1
+        assert summary.pairs[0].treatment["w"] == 1.1
+
+    def test_empty_pools(self):
+        assert matching.match_pairs([], [{"v": 1.0}], [by_value]).n_matched == 0
+        assert matching.match_pairs([{"v": 1.0}], [], [by_value]).n_matched == 0
+
+    def test_max_pairs_cap(self):
+        control = [{"v": 1.0 + i * 1e-4} for i in range(10)]
+        treatment = [{"v": 1.0 + i * 1e-4} for i in range(10)]
+        summary = matching.match_pairs(
+            control, treatment, [by_value], max_pairs=3
+        )
+        assert summary.n_matched == 3
+
+    def test_deterministic(self):
+        control = [{"v": 1.0 + 0.01 * i} for i in range(20)]
+        treatment = [{"v": 1.0 + 0.011 * i} for i in range(20)]
+        a = matching.match_pairs(control, treatment, [by_value])
+        b = matching.match_pairs(control, treatment, [by_value])
+        assert [
+            (p.control["v"], p.treatment["v"]) for p in a.pairs
+        ] == [(p.control["v"], p.treatment["v"]) for p in b.pairs]
+
+    def test_all_pairs_respect_caliper(self):
+        control = [{"v": float(i)} for i in range(1, 50)]
+        treatment = [{"v": float(i) * 1.2} for i in range(1, 50)]
+        summary = matching.match_pairs(control, treatment, [by_value])
+        for pair in summary.pairs:
+            assert matching.caliper_compatible(
+                pair.control["v"], pair.treatment["v"]
+            )
+
+    def test_match_rate(self):
+        control = [{"v": 1.0}, {"v": 100.0}]
+        treatment = [{"v": 1.0}]
+        summary = matching.match_pairs(control, treatment, [by_value])
+        assert summary.match_rate == 1.0
+
+    def test_no_confounders_rejected(self):
+        with pytest.raises(MatchingError):
+            matching.match_pairs([{"v": 1}], [{"v": 1}], [])
+
+    def test_nan_confounder_rejected(self):
+        with pytest.raises(MatchingError):
+            matching.match_pairs(
+                [{"v": float("nan")}], [{"v": 1.0}], [by_value]
+            )
+
+    def test_distance_is_log_scale(self):
+        # 10 vs 12 (ratio 1.2) is closer than 10 vs 8 (ratio 1.25).
+        control = [{"v": 10.0}]
+        treatment = [{"v": 8.1}, {"v": 12.0}]
+        summary = matching.match_pairs(control, treatment, [by_value])
+        assert summary.pairs[0].treatment["v"] == 12.0
+
+    def test_chunked_path_equivalent(self):
+        # Large-ish pools exercise the chunked candidate enumeration.
+        control = [{"v": 1.0 + (i % 37) * 0.001} for i in range(300)]
+        treatment = [{"v": 1.0 + (i % 41) * 0.001} for i in range(300)]
+        summary = matching.match_pairs(control, treatment, [by_value])
+        assert summary.n_matched == 300

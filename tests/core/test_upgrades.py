@@ -1,0 +1,163 @@
+"""Service-switch detection."""
+
+import pytest
+
+from repro.core import upgrades
+from repro.exceptions import AnalysisError
+
+
+def period(
+    user="u1",
+    isp="ISP-A",
+    prefix="10.0.0.0/24",
+    city="Northton",
+    start=0.0,
+    end=2.0,
+    capacity=2.0,
+    mean=0.1,
+    peak=0.5,
+):
+    return upgrades.ServicePeriod(
+        user_id=user,
+        network=upgrades.NetworkId(isp, prefix, city),
+        start_day=start,
+        end_day=end,
+        capacity_mbps=capacity,
+        mean_mbps=mean,
+        peak_mbps=peak,
+        mean_no_bt_mbps=mean * 0.8,
+        peak_no_bt_mbps=peak * 0.8,
+    )
+
+
+class TestServicePeriod:
+    def test_duration(self):
+        assert period(start=1.0, end=3.5).duration_days == 2.5
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(AnalysisError):
+            period(start=1.0, end=1.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(AnalysisError):
+            period(capacity=0.0)
+
+    def test_network_id_str(self):
+        net = upgrades.NetworkId("ISP", "1.2.3.0/24", "City")
+        assert str(net) == "ISP/1.2.3.0/24/City"
+
+
+class TestServiceSwitch:
+    def test_upgrade_classification(self):
+        switch = upgrades.ServiceSwitch(
+            period(capacity=2.0), period(prefix="p2", start=3, end=5, capacity=4.0)
+        )
+        assert switch.is_upgrade
+        assert not switch.is_downgrade
+        assert switch.capacity_ratio == 2.0
+
+    def test_downgrade_classification(self):
+        switch = upgrades.ServiceSwitch(
+            period(capacity=4.0), period(prefix="p2", start=3, end=5, capacity=2.0)
+        )
+        assert switch.is_downgrade
+
+    def test_deltas_with_and_without_bt(self):
+        before = period(capacity=2.0, mean=0.1, peak=0.5)
+        after = period(prefix="p2", start=3, end=5, capacity=4.0, mean=0.3, peak=1.0)
+        switch = upgrades.ServiceSwitch(before, after)
+        assert switch.delta_mean() == pytest.approx(0.2)
+        assert switch.delta_peak() == pytest.approx(0.5)
+        assert switch.delta_mean(include_bt=False) == pytest.approx(0.16)
+        assert switch.delta_peak(include_bt=False) == pytest.approx(0.4)
+
+
+class TestDetectSwitches:
+    def test_detects_capacity_change(self):
+        periods = [
+            period(end=2.0),
+            period(prefix="p2", start=3.0, end=5.0, capacity=8.0),
+        ]
+        switches = upgrades.detect_switches(periods)
+        assert len(switches) == 1
+        assert switches[0].is_upgrade
+
+    def test_same_network_not_a_switch(self):
+        periods = [period(end=2.0), period(start=3.0, end=5.0, capacity=8.0)]
+        assert upgrades.detect_switches(periods) == []
+
+    def test_small_change_filtered(self):
+        periods = [
+            period(end=2.0, capacity=2.0),
+            period(prefix="p2", start=3.0, end=5.0, capacity=2.2),
+        ]
+        assert upgrades.detect_switches(periods) == []
+
+    def test_downgrade_detected(self):
+        periods = [
+            period(end=2.0, capacity=8.0),
+            period(prefix="p2", start=3.0, end=5.0, capacity=2.0),
+        ]
+        assert len(upgrades.detect_switches(periods)) == 1
+
+    def test_multiple_switches(self):
+        periods = [
+            period(end=1.0, capacity=1.0),
+            period(prefix="p2", start=2.0, end=3.0, capacity=2.0),
+            period(prefix="p3", start=4.0, end=5.0, capacity=8.0),
+        ]
+        assert len(upgrades.detect_switches(periods)) == 2
+
+    def test_mixed_users_rejected(self):
+        periods = [period(user="a", end=2.0), period(user="b", start=3.0, end=4.0)]
+        with pytest.raises(AnalysisError):
+            upgrades.detect_switches(periods)
+
+    def test_overlapping_periods_rejected(self):
+        periods = [
+            period(end=2.0),
+            period(prefix="p2", start=1.0, end=3.0, capacity=8.0),
+        ]
+        with pytest.raises(AnalysisError):
+            upgrades.detect_switches(periods)
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(AnalysisError):
+            upgrades.detect_switches([period()], min_capacity_ratio=1.0)
+
+
+class TestSlowFastObservation:
+    def test_pairs_extremes(self):
+        periods = [
+            period(end=1.0, capacity=1.0),
+            period(prefix="p2", start=2.0, end=3.0, capacity=4.0),
+            period(prefix="p3", start=4.0, end=5.0, capacity=2.0),
+        ]
+        obs = upgrades.slow_fast_observation(periods)
+        assert obs is not None
+        assert obs.slow.capacity_mbps == 1.0
+        assert obs.fast.capacity_mbps == 4.0
+        assert obs.capacity_ratio == 4.0
+
+    def test_single_period_none(self):
+        assert upgrades.slow_fast_observation([period()]) is None
+
+    def test_insufficient_spread_none(self):
+        periods = [
+            period(end=1.0, capacity=2.0),
+            period(prefix="p2", start=2.0, end=3.0, capacity=2.1),
+        ]
+        assert upgrades.slow_fast_observation(periods) is None
+
+    def test_same_network_extremes_none(self):
+        # Both stays on the same network id: capacity noise, not a switch.
+        periods = [
+            period(end=1.0, capacity=1.0),
+            period(start=2.0, end=3.0, capacity=4.0),
+        ]
+        assert upgrades.slow_fast_observation(periods) is None
+
+    def test_multi_user_rejected(self):
+        periods = [period(user="a"), period(user="b", start=3.0, end=4.0)]
+        with pytest.raises(AnalysisError):
+            upgrades.slow_fast_observation(periods)

@@ -1,0 +1,48 @@
+"""World configuration validation."""
+
+import pytest
+
+from repro.datasets.world import WorldConfig
+from repro.exceptions import DatasetError
+
+
+class TestWorldConfig:
+    def test_defaults_valid(self):
+        config = WorldConfig()
+        assert config.n_dasu_users > 0
+        assert config.years == (2011, 2012, 2013)
+
+    def test_mechanism_switches_default_on(self):
+        config = WorldConfig()
+        assert config.price_selection_enabled
+        assert config.quality_suppression_enabled
+        assert config.demand_growth_enabled
+
+    def test_negative_users_rejected(self):
+        with pytest.raises(DatasetError):
+            WorldConfig(n_dasu_users=-1)
+
+    def test_unsorted_years_rejected(self):
+        with pytest.raises(DatasetError):
+            WorldConfig(years=(2013, 2011))
+
+    def test_empty_years_rejected(self):
+        with pytest.raises(DatasetError):
+            WorldConfig(years=())
+
+    def test_zero_days_rejected(self):
+        with pytest.raises(DatasetError):
+            WorldConfig(days_per_year=0.0)
+
+    def test_zero_ndt_tests_rejected(self):
+        with pytest.raises(DatasetError):
+            WorldConfig(ndt_tests_per_period=0)
+
+    def test_bad_web_fraction_rejected(self):
+        with pytest.raises(DatasetError):
+            WorldConfig(web_probe_fraction=1.5)
+
+    def test_frozen(self):
+        config = WorldConfig()
+        with pytest.raises(Exception):
+            config.seed = 1  # type: ignore[misc]

@@ -1,0 +1,146 @@
+"""Country profiles: anchors and synthetic fill."""
+
+import numpy as np
+import pytest
+
+from repro.market.countries import (
+    ANCHOR_PROFILES,
+    CASE_STUDY_COUNTRIES,
+    build_profiles,
+    synthesize_profiles,
+)
+from repro.market.economy import DevelopmentLevel, Region
+
+
+def anchor(name):
+    for profile in ANCHOR_PROFILES:
+        if profile.name == name:
+            return profile
+    raise AssertionError(f"no anchor {name}")
+
+
+class TestAnchors:
+    def test_case_study_countries_present(self):
+        names = {p.name for p in ANCHOR_PROFILES}
+        for country in CASE_STUDY_COUNTRIES:
+            assert country in names
+
+    def test_paper_named_markets_present(self):
+        names = {p.name for p in ANCHOR_PROFILES}
+        for country in (
+            "India", "Germany", "Canada", "South Korea", "Hong Kong",
+            "Mexico", "New Zealand", "Philippines", "Iran", "Ghana",
+            "Uganda", "Afghanistan", "Paraguay", "Ivory Coast", "China",
+        ):
+            assert country in names
+
+    def test_table4_gdp_values(self):
+        assert anchor("Botswana").gdp_per_capita_ppp == 14_993.0
+        assert anchor("Saudi Arabia").gdp_per_capita_ppp == 29_114.0
+        assert anchor("US").gdp_per_capita_ppp == 49_797.0
+        assert anchor("Japan").gdp_per_capita_ppp == 34_532.0
+
+    def test_table4_user_count_ratios(self):
+        assert anchor("US").dasu_user_weight == 3759.0
+        assert anchor("Japan").dasu_user_weight == 73.0
+        assert anchor("Botswana").dasu_user_weight == 67.0
+        assert anchor("Saudi Arabia").dasu_user_weight == 120.0
+
+    def test_fig10_slope_ordering(self):
+        # Japan/Korea < US/Canada < Ghana/Uganda, as Fig. 10 annotates.
+        assert anchor("Japan").upgrade_slope_usd < 0.1
+        assert anchor("South Korea").upgrade_slope_usd < 0.1
+        assert 0.4 < anchor("US").upgrade_slope_usd < 1.0
+        assert 0.4 < anchor("Canada").upgrade_slope_usd < 1.0
+        assert anchor("Ghana").upgrade_slope_usd > 5.0
+        assert anchor("Uganda").upgrade_slope_usd > 5.0
+
+    def test_india_matches_sec7_profile(self):
+        india = anchor("India")
+        # Cost to upgrade within 25% of the US (Sec. 7.1)...
+        us = anchor("US")
+        ratio = india.upgrade_slope_usd / us.upgrade_slope_usd
+        assert 0.75 <= ratio <= 1.3
+        # ...but much more expensive access and much worse quality.
+        assert india.base_price_usd > 60.0
+        assert india.extra_latency_ms > 100.0
+        assert india.loss_multiplier > 10.0
+
+    def test_china_india_cheap_upgrades_footnote(self):
+        # The paper's footnote: India and China upgrade below $1/Mbps.
+        assert anchor("India").upgrade_slope_usd < 1.0
+        assert anchor("China").upgrade_slope_usd < 1.0
+
+    def test_afghanistan_weak_correlation_market(self):
+        assert anchor("Afghanistan").oddball_plan_rate >= 0.4
+
+    def test_economy_construction(self):
+        economy = anchor("US").economy()
+        assert economy.region is Region.NORTH_AMERICA
+        assert economy.monthly_income_ppp_usd == pytest.approx(49_797 / 12)
+
+
+class TestSynthesis:
+    def test_deterministic(self):
+        a = synthesize_profiles(np.random.default_rng(5))
+        b = synthesize_profiles(np.random.default_rng(5))
+        assert [p.name for p in a] == [p.name for p in b]
+        assert [p.upgrade_slope_usd for p in a] == [
+            p.upgrade_slope_usd for p in b
+        ]
+
+    def test_fill_counts_by_region(self):
+        profiles = synthesize_profiles(np.random.default_rng(5))
+        africa = [p for p in profiles if p.region is Region.AFRICA]
+        assert len(africa) == 14
+
+    def test_all_profiles_valid(self):
+        for profile in synthesize_profiles(np.random.default_rng(5)):
+            assert profile.min_capacity_mbps <= profile.max_capacity_mbps
+            assert profile.n_plans >= 2
+            assert abs(sum(profile.tech_mix.values()) - 1.0) < 1e-6
+
+    def test_africa_slopes_expensive(self):
+        profiles = synthesize_profiles(np.random.default_rng(5))
+        slopes = [
+            p.upgrade_slope_usd
+            for p in profiles
+            if p.region is Region.AFRICA
+        ]
+        assert all(s > 1.0 for s in slopes)
+
+    def test_developed_asia_slopes_cheap(self):
+        profiles = synthesize_profiles(np.random.default_rng(5))
+        slopes = [
+            p.upgrade_slope_usd
+            for p in profiles
+            if p.region is Region.ASIA
+            and p.development is DevelopmentLevel.DEVELOPED
+        ]
+        assert slopes and all(s < 0.5 for s in slopes)
+
+    def test_build_profiles_includes_anchors(self):
+        profiles = build_profiles(np.random.default_rng(5))
+        names = {p.name for p in profiles}
+        assert "US" in names and "Botswana" in names
+        assert len(profiles) > 60
+
+    def test_build_profiles_anchor_only(self):
+        profiles = build_profiles(
+            np.random.default_rng(5), include_synthetic=False
+        )
+        assert len(profiles) == len(ANCHOR_PROFILES)
+
+    def test_user_weight_scaling(self):
+        profiles = build_profiles(
+            np.random.default_rng(5),
+            include_synthetic=False,
+            user_weight_scale=2.0,
+        )
+        us = [p for p in profiles if p.name == "US"][0]
+        assert us.dasu_user_weight == 2 * 3759.0
+
+    def test_unique_names(self):
+        profiles = build_profiles(np.random.default_rng(5))
+        names = [p.name for p in profiles]
+        assert len(names) == len(set(names))

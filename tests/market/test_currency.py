@@ -1,0 +1,39 @@
+"""Currency and PPP normalization."""
+
+import pytest
+
+from repro.exceptions import MarketError
+from repro.market.currency import USD, Currency, to_usd_ppp
+
+
+class TestCurrency:
+    def test_usd_identity(self):
+        assert USD.to_usd_ppp(53.0) == 53.0
+        assert USD.to_usd_market(53.0) == 53.0
+
+    def test_market_conversion(self):
+        jpy = Currency("JPY", units_per_usd=100.0, ppp_market_ratio=1.0)
+        assert jpy.to_usd_market(5000.0) == 50.0
+
+    def test_ppp_adjustment_inflates_cheap_economies(self):
+        # PPP ratio < 1: local prices buy more, so PPP dollars exceed
+        # market dollars (the Botswana effect in Table 4).
+        bwp = Currency("BWP", units_per_usd=8.4, ppp_market_ratio=0.5)
+        assert bwp.to_usd_ppp(84.0) == pytest.approx(20.0)
+        assert bwp.to_usd_market(84.0) == pytest.approx(10.0)
+
+    def test_ppp_adjustment_deflates_expensive_economies(self):
+        nok = Currency("NOK", units_per_usd=6.0, ppp_market_ratio=1.5)
+        assert nok.to_usd_ppp(90.0) == pytest.approx(10.0)
+
+    def test_helper_function(self):
+        eur = Currency("EUR", units_per_usd=0.75, ppp_market_ratio=1.0)
+        assert to_usd_ppp(75.0, eur) == pytest.approx(100.0)
+
+    def test_invalid_exchange_rate(self):
+        with pytest.raises(MarketError):
+            Currency("XXX", units_per_usd=0.0, ppp_market_ratio=1.0)
+
+    def test_invalid_ppp_ratio(self):
+        with pytest.raises(MarketError):
+            Currency("XXX", units_per_usd=1.0, ppp_market_ratio=-0.5)

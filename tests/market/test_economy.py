@@ -1,0 +1,61 @@
+"""Economies and regions."""
+
+import pytest
+
+from repro.exceptions import MarketError
+from repro.market.currency import USD
+from repro.market.economy import (
+    TABLE5_REGIONS,
+    DevelopmentLevel,
+    Economy,
+    Region,
+)
+
+
+def economy(region=Region.EUROPE, development=DevelopmentLevel.DEVELOPED):
+    return Economy(
+        country="Testland",
+        region=region,
+        development=development,
+        gdp_per_capita_ppp_usd=36_000.0,
+        currency=USD,
+        internet_penetration=0.8,
+    )
+
+
+class TestEconomy:
+    def test_monthly_income(self):
+        assert economy().monthly_income_ppp_usd == pytest.approx(3000.0)
+
+    def test_invalid_gdp(self):
+        with pytest.raises(MarketError):
+            Economy("X", Region.EUROPE, DevelopmentLevel.DEVELOPED, 0.0, USD, 0.5)
+
+    def test_invalid_penetration(self):
+        with pytest.raises(MarketError):
+            Economy("X", Region.EUROPE, DevelopmentLevel.DEVELOPED, 1.0, USD, 1.5)
+
+
+class TestTable5Rows:
+    def test_plain_region(self):
+        assert economy(Region.EUROPE).table5_rows() == ("Europe",)
+
+    def test_asia_developed_contributes_twice(self):
+        rows = economy(Region.ASIA, DevelopmentLevel.DEVELOPED).table5_rows()
+        assert rows == ("Asia (all)", "Asia (developed)")
+
+    def test_asia_developing_contributes_twice(self):
+        rows = economy(Region.ASIA, DevelopmentLevel.DEVELOPING).table5_rows()
+        assert rows == ("Asia (all)", "Asia (developing)")
+
+    def test_oceania_not_in_table5(self):
+        assert economy(Region.OCEANIA).table5_rows() == ()
+
+    def test_all_row_labels_valid(self):
+        for region in Region:
+            for development in DevelopmentLevel:
+                for label in economy(region, development).table5_rows():
+                    assert label in TABLE5_REGIONS
+
+    def test_table5_has_nine_rows(self):
+        assert len(TABLE5_REGIONS) == 9

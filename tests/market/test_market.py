@@ -1,0 +1,121 @@
+"""Country markets and derived metrics."""
+
+import pytest
+
+from repro.exceptions import MarketError
+from repro.market.currency import USD
+from repro.market.economy import DevelopmentLevel, Economy, Region
+from repro.market.market import CountryMarket
+from repro.market.plans import BroadbandPlan, PlanTechnology
+
+
+def us_economy():
+    return Economy(
+        country="Testland",
+        region=Region.NORTH_AMERICA,
+        development=DevelopmentLevel.DEVELOPED,
+        gdp_per_capita_ppp_usd=49_797.0,
+        currency=USD,
+        internet_penetration=0.81,
+    )
+
+
+def make_plan(capacity, price, dedicated=False):
+    return BroadbandPlan(
+        country="Testland",
+        isp="Testland Telecom",
+        name=f"plan-{capacity}",
+        download_mbps=capacity,
+        upload_mbps=capacity * 0.1,
+        monthly_price_local=price,
+        currency=USD,
+        technology=PlanTechnology.DSL if capacity <= 20 else PlanTechnology.CABLE,
+        dedicated=dedicated,
+    )
+
+
+def market(plans=None):
+    if plans is None:
+        plans = [
+            make_plan(0.5, 15.0),
+            make_plan(1.0, 20.0),
+            make_plan(4.0, 22.0),
+            make_plan(10.0, 26.0),
+            make_plan(25.0, 35.0),
+        ]
+    return CountryMarket(economy=us_economy(), plans=tuple(plans))
+
+
+class TestCountryMarket:
+    def test_price_of_access_is_cheapest_at_least_1mbps(self):
+        assert market().price_of_access() == 20.0
+
+    def test_price_of_access_ignores_sub_megabit(self):
+        # The 0.5 Mbps plan is cheaper but below the access floor.
+        assert market().price_of_access() != 15.0
+
+    def test_price_of_access_fallback_for_slow_markets(self):
+        slow = market([make_plan(0.25, 90.0), make_plan(0.5, 110.0)])
+        assert slow.price_of_access() == 110.0
+
+    def test_nearest_plan_log_scale(self):
+        # 17.6 Mbps is nearer (log-scale) to 25 than to 10.
+        assert market().nearest_plan(17.6).download_mbps == 25.0
+
+    def test_nearest_plan_exact(self):
+        assert market().nearest_plan(4.0).download_mbps == 4.0
+
+    def test_nearest_plan_invalid_capacity(self):
+        with pytest.raises(MarketError):
+            market().nearest_plan(0.0)
+
+    def test_regression_slope(self):
+        reg = market().regression
+        assert reg is not None
+        assert reg.slope_usd_per_mbps > 0
+
+    def test_upgrade_cost_requires_moderate_correlation(self):
+        # An anti-correlated market yields no upgrade-cost estimate.
+        weird = market(
+            [make_plan(1.0, 100.0), make_plan(10.0, 50.0), make_plan(20.0, 20.0)]
+        )
+        assert weird.upgrade_cost_usd_per_mbps is None
+
+    def test_upgrade_cost_well_behaved_market(self):
+        cost = market().upgrade_cost_usd_per_mbps
+        assert cost is not None
+        assert 0.1 < cost < 5.0
+
+    def test_single_capacity_market_has_no_regression(self):
+        single = market([make_plan(4.0, 20.0), make_plan(4.0, 25.0)])
+        assert single.regression is None
+        assert single.upgrade_cost_usd_per_mbps is None
+
+    def test_capacity_range(self):
+        m = market()
+        assert m.min_capacity_mbps == 0.5
+        assert m.max_capacity_mbps == 25.0
+
+    def test_plans_at_least(self):
+        assert len(market().plans_at_least(4.0)) == 3
+
+    def test_cheapest_plan_at_least_none(self):
+        assert market().cheapest_plan_at_least(100.0) is None
+
+    def test_empty_market_rejected(self):
+        with pytest.raises(MarketError):
+            CountryMarket(economy=us_economy(), plans=())
+
+    def test_foreign_plan_rejected(self):
+        foreign = BroadbandPlan(
+            country="Elsewhere",
+            isp="X",
+            name="x",
+            download_mbps=1.0,
+            upload_mbps=0.1,
+            monthly_price_local=10.0,
+            currency=USD,
+            technology=PlanTechnology.DSL,
+        )
+        with pytest.raises(MarketError):
+            CountryMarket(economy=us_economy(), plans=(foreign,))

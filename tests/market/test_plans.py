@@ -1,0 +1,61 @@
+"""Retail plan records."""
+
+import pytest
+
+from repro.exceptions import MarketError
+from repro.market.currency import Currency, USD
+from repro.market.plans import BroadbandPlan, PlanTechnology
+
+
+def plan(**overrides):
+    kwargs = dict(
+        country="Testland",
+        isp="Testland Telecom",
+        name="dsl-4M",
+        download_mbps=4.0,
+        upload_mbps=0.5,
+        monthly_price_local=40.0,
+        currency=USD,
+        technology=PlanTechnology.DSL,
+    )
+    kwargs.update(overrides)
+    return BroadbandPlan(**kwargs)
+
+
+class TestBroadbandPlan:
+    def test_usd_ppp_price(self):
+        local = Currency("TST", units_per_usd=2.0, ppp_market_ratio=0.5)
+        p = plan(currency=local, monthly_price_local=40.0)
+        assert p.monthly_price_usd_ppp == pytest.approx(40.0)
+
+    def test_unit_price(self):
+        assert plan().usd_ppp_per_mbps == pytest.approx(10.0)
+
+    def test_cap_detection(self):
+        assert not plan().is_capped
+        assert plan(data_cap_gb=50.0).is_capped
+
+    def test_invalid_speeds(self):
+        with pytest.raises(MarketError):
+            plan(download_mbps=0.0)
+
+    def test_upload_cannot_exceed_download(self):
+        with pytest.raises(MarketError):
+            plan(upload_mbps=8.0)
+
+    def test_invalid_price(self):
+        with pytest.raises(MarketError):
+            plan(monthly_price_local=0.0)
+
+    def test_invalid_cap(self):
+        with pytest.raises(MarketError):
+            plan(data_cap_gb=0.0)
+
+
+class TestPlanTechnology:
+    def test_fixed_line_classification(self):
+        assert PlanTechnology.FIBER.is_fixed_line
+        assert PlanTechnology.CABLE.is_fixed_line
+        assert PlanTechnology.DSL.is_fixed_line
+        assert not PlanTechnology.WIRELESS.is_fixed_line
+        assert not PlanTechnology.SATELLITE.is_fixed_line

@@ -1,0 +1,103 @@
+"""The Dasu client: biased sampling and counter handling."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.demand import DemandProcess
+from repro.exceptions import MeasurementError
+from repro.measurement.dasu import DasuClient, DasuVantage, SampledUsage
+from repro.traffic.generator import generate_usage_series
+
+
+def make_series(days=4.0, bt=True, seed=0, peak=2.0, ceiling=10.0):
+    process = DemandProcess(
+        offered_peak_mbps=peak,
+        ceiling_mbps=ceiling,
+        activity_level=0.6,
+        burstiness_sigma=1.0,
+        rate_median_share=0.35,
+        bt_user=bt,
+    )
+    return generate_usage_series(
+        process, days, 30.0, np.random.default_rng(seed)
+    )
+
+
+class TestCollect:
+    @pytest.mark.parametrize("vantage", list(DasuVantage))
+    def test_collects_a_subset(self, vantage):
+        series = make_series()
+        client = DasuClient(vantage, np.random.default_rng(1))
+        sampled = client.collect(series)
+        assert 0 < sampled.n_samples < series.n_samples
+
+    def test_rates_plausible(self):
+        series = make_series(bt=False)
+        client = DasuClient(DasuVantage.DIRECT, np.random.default_rng(1))
+        sampled = client.collect(series)
+        assert np.all(sampled.rates_mbps >= 0)
+        assert np.percentile(sampled.rates_mbps, 99) <= 10.0 * 1.01
+
+    def test_mean_close_to_truth_upnp(self):
+        # Counter artifacts must not bias the recovered rates: compare
+        # the collected mean against the true mean over collected hours.
+        series = make_series(days=8.0, bt=False)
+        client = DasuClient(DasuVantage.UPNP, np.random.default_rng(2))
+        sampled = client.collect(series)
+        # Allow the diurnal sampling bias but nothing pathological.
+        assert sampled.rates_mbps.mean() == pytest.approx(
+            series.rates_mbps.mean(), rel=1.0
+        )
+
+    def test_sampling_is_peak_biased(self):
+        # Dasu means exceed the whole-day truth (the Fig. 3 offset).
+        ratios = []
+        for seed in range(30):
+            series = make_series(days=10.0, bt=False, seed=seed)
+            client = DasuClient(
+                DasuVantage.DIRECT, np.random.default_rng(100 + seed)
+            )
+            sampled = client.collect(series)
+            if sampled.n_samples > 100:
+                ratios.append(sampled.rates_mbps.mean() / series.rates_mbps.mean())
+        assert np.mean(ratios) > 1.03
+
+    def test_bt_flags_preserved(self):
+        series = make_series(days=6.0, bt=True)
+        client = DasuClient(DasuVantage.DIRECT, np.random.default_rng(3))
+        sampled = client.collect(series)
+        if series.bt_active.any():
+            assert sampled.bt_active.dtype == bool
+
+    def test_summary_excludes_bt(self):
+        series = make_series(days=6.0, bt=True, seed=5)
+        client = DasuClient(DasuVantage.DIRECT, np.random.default_rng(4))
+        sampled = client.collect(series)
+        if sampled.bt_active.any() and sampled.has_no_bt_samples:
+            with_bt = sampled.summary(include_bt=True)
+            without = sampled.summary(include_bt=False)
+            assert without.mean_mbps <= with_bt.mean_mbps
+
+    def test_hours_in_range(self):
+        series = make_series()
+        client = DasuClient(DasuVantage.UPNP, np.random.default_rng(5))
+        sampled = client.collect(series)
+        assert np.all((sampled.hours >= 0) & (sampled.hours < 24))
+
+    def test_deterministic(self):
+        series = make_series()
+        a = DasuClient(DasuVantage.UPNP, np.random.default_rng(6)).collect(series)
+        b = DasuClient(DasuVantage.UPNP, np.random.default_rng(6)).collect(series)
+        assert np.array_equal(a.rates_mbps, b.rates_mbps)
+
+    def test_invalid_miss_rate(self):
+        with pytest.raises(MeasurementError):
+            DasuClient(DasuVantage.UPNP, np.random.default_rng(0), read_miss_rate=1.0)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(MeasurementError):
+            SampledUsage(
+                rates_mbps=np.zeros(3),
+                bt_active=np.zeros(2, dtype=bool),
+                hours=np.zeros(3),
+            )

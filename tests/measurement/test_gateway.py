@@ -1,0 +1,78 @@
+"""FCC gateway aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.demand import DemandProcess
+from repro.exceptions import MeasurementError
+from repro.measurement.gateway import FccGateway
+from repro.traffic.generator import generate_usage_series
+
+
+def make_series(days=3.0, seed=0):
+    process = DemandProcess(
+        offered_peak_mbps=2.0,
+        ceiling_mbps=10.0,
+        activity_level=0.6,
+        burstiness_sigma=1.0,
+        rate_median_share=0.35,
+        bt_user=False,
+    )
+    return generate_usage_series(process, days, 30.0, np.random.default_rng(seed))
+
+
+class TestFccGateway:
+    def test_hourly_record_count(self):
+        gateway = FccGateway(np.random.default_rng(0), loss_rate=0.0)
+        hourly = gateway.hourly_rates(make_series(days=2.0))
+        assert hourly.size == 48
+
+    def test_mean_preserved(self):
+        series = make_series(days=4.0)
+        gateway = FccGateway(np.random.default_rng(0), loss_rate=0.0)
+        hourly = gateway.hourly_rates(series)
+        assert hourly.mean() == pytest.approx(series.rates_mbps.mean(), rel=1e-9)
+
+    def test_unbiased_sampling(self):
+        # Unlike Dasu, the gateway records around the clock: its mean is
+        # the true mean, no peak-hour inflation.
+        series = make_series(days=6.0, seed=2)
+        gateway = FccGateway(np.random.default_rng(0), loss_rate=0.0)
+        summary = gateway.summary(series)
+        assert summary.mean_mbps == pytest.approx(
+            series.rates_mbps.mean(), rel=1e-9
+        )
+
+    def test_hourly_peak_slightly_below_fine_grained(self):
+        series = make_series(days=6.0, seed=3)
+        gateway = FccGateway(np.random.default_rng(0), loss_rate=0.0)
+        hourly_peak = gateway.summary(series).peak_mbps
+        fine_peak = np.percentile(series.rates_mbps, 95)
+        assert hourly_peak <= fine_peak * 1.01
+        assert hourly_peak >= fine_peak * 0.4
+
+    def test_record_loss(self):
+        series = make_series(days=4.0)
+        gateway = FccGateway(np.random.default_rng(1), loss_rate=0.3)
+        hourly = gateway.hourly_rates(series)
+        assert hourly.size < 96
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(MeasurementError):
+            FccGateway(np.random.default_rng(0), loss_rate=1.0)
+
+    def test_coarse_series_rejected(self):
+        process = DemandProcess(
+            offered_peak_mbps=1.0,
+            ceiling_mbps=10.0,
+            activity_level=0.5,
+            burstiness_sigma=1.0,
+            rate_median_share=0.3,
+            bt_user=False,
+        )
+        coarse = generate_usage_series(
+            process, 30.0, 7200.0, np.random.default_rng(0)
+        )
+        gateway = FccGateway(np.random.default_rng(0))
+        with pytest.raises(MeasurementError):
+            gateway.hourly_rates(coarse)

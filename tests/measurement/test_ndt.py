@@ -1,0 +1,120 @@
+"""NDT-style performance tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.market.plans import PlanTechnology
+from repro.measurement.ndt import NdtClient, NdtResult
+from repro.network.link import AccessLink
+from repro.network.path import NetworkPath
+
+
+def path(
+    download=20.0,
+    rtt=25.0,
+    loss=0.0005,
+    tech=PlanTechnology.CABLE,
+    distance=20.0,
+):
+    link = AccessLink(download, 2.0, tech, rtt, loss)
+    return NetworkPath(link, distance, 5.0, 0.0)
+
+
+class TestRunTest:
+    def test_clean_line_measures_near_line_rate(self):
+        client = NdtClient(np.random.default_rng(0))
+        results = [client.run_test(path(), 0.0) for _ in range(20)]
+        best = max(r.download_mbps for r in results)
+        assert best == pytest.approx(20.0, rel=0.12)
+
+    def test_download_never_exceeds_line(self):
+        client = NdtClient(np.random.default_rng(0))
+        for _ in range(50):
+            assert client.run_test(path(), 0.0).download_mbps <= 20.0
+
+    def test_rtt_near_truth(self):
+        client = NdtClient(np.random.default_rng(0))
+        rtts = [client.run_test(path(), 0.0).rtt_ms for _ in range(50)]
+        assert np.median(rtts) == pytest.approx(45.0, rel=0.2)
+
+    def test_lossy_line_tcp_limited(self):
+        client = NdtClient(np.random.default_rng(0))
+        lossy = path(download=20.0, rtt=250.0, loss=0.05, tech=PlanTechnology.WIRELESS)
+        results = [client.run_test(lossy, 0.0) for _ in range(20)]
+        assert max(r.download_mbps for r in results) < 15.0
+
+    def test_satellite_pep_speeds_up_measurement(self):
+        client_a = NdtClient(np.random.default_rng(0))
+        client_b = NdtClient(np.random.default_rng(0))
+        sat = path(download=10.0, rtt=600.0, loss=0.005, tech=PlanTechnology.SATELLITE)
+        wl = path(download=10.0, rtt=600.0, loss=0.005, tech=PlanTechnology.WIRELESS)
+        sat_best = max(client_a.run_test(sat, 0.0).download_mbps for _ in range(20))
+        wl_best = max(client_b.run_test(wl, 0.0).download_mbps for _ in range(20))
+        assert sat_best > wl_best
+
+    def test_loss_measured_with_sampling_noise(self):
+        client = NdtClient(np.random.default_rng(0))
+        losses = [
+            client.run_test(path(loss=0.01), 0.0).loss_fraction
+            for _ in range(30)
+        ]
+        assert np.mean(losses) == pytest.approx(0.01, rel=0.4)
+
+    def test_clean_line_often_reports_zero_loss(self):
+        client = NdtClient(np.random.default_rng(0))
+        losses = [
+            client.run_test(path(loss=1e-6), 0.0).loss_fraction
+            for _ in range(20)
+        ]
+        assert min(losses) == 0.0
+
+    def test_cross_traffic_lowers_throughput(self):
+        quiet = NdtClient(np.random.default_rng(1))
+        busy = NdtClient(np.random.default_rng(1))
+        q = np.mean([quiet.run_test(path(), 0.0, 0.0).download_mbps for _ in range(20)])
+        b = np.mean(
+            [busy.run_test(path(), 0.0, 15.0).download_mbps for _ in range(20)]
+        )
+        assert b < q
+
+    def test_cross_traffic_inflates_rtt(self):
+        client = NdtClient(np.random.default_rng(1))
+        quiet = np.mean([client.run_test(path(), 0.0, 0.0).rtt_ms for _ in range(20)])
+        busy = np.mean([client.run_test(path(), 0.0, 18.0).rtt_ms for _ in range(20)])
+        assert busy > quiet + 20.0
+
+    def test_negative_cross_traffic_rejected(self):
+        client = NdtClient(np.random.default_rng(0))
+        with pytest.raises(MeasurementError):
+            client.run_test(path(), 0.0, -1.0)
+
+
+class TestRunTests:
+    def test_campaign_size_and_ordering(self):
+        client = NdtClient(np.random.default_rng(0))
+        results = client.run_tests(path(), 10, (0.0, 30.0))
+        assert len(results) == 10
+        days = [r.day for r in results]
+        assert days == sorted(days)
+        assert all(0.0 <= d <= 30.0 for d in days)
+
+    def test_invalid_window(self):
+        client = NdtClient(np.random.default_rng(0))
+        with pytest.raises(MeasurementError):
+            client.run_tests(path(), 5, (3.0, 3.0))
+
+    def test_invalid_count(self):
+        client = NdtClient(np.random.default_rng(0))
+        with pytest.raises(MeasurementError):
+            client.run_tests(path(), 0, (0.0, 1.0))
+
+
+class TestNdtResult:
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            NdtResult(0.0, 0.0, 1.0, 10.0, 0.0)
+        with pytest.raises(MeasurementError):
+            NdtResult(0.0, 1.0, 1.0, 0.0, 0.0)
+        with pytest.raises(MeasurementError):
+            NdtResult(0.0, 1.0, 1.0, 10.0, 1.5)

@@ -1,0 +1,56 @@
+"""Popular-site latency probes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.market.plans import PlanTechnology
+from repro.measurement.web_latency import POPULAR_SITES, WebLatencyProber
+from repro.network.link import AccessLink
+from repro.network.path import NetworkPath
+
+
+def path(distance=30.0, cdn_gap=5.0):
+    link = AccessLink(10.0, 1.0, PlanTechnology.DSL, 30.0, 0.001)
+    return NetworkPath(link, distance, cdn_gap, 0.0)
+
+
+class TestWebLatencyProber:
+    def test_five_sites(self):
+        assert len(POPULAR_SITES) == 5
+        assert "google.com" in POPULAR_SITES
+
+    def test_probe_single_site(self):
+        prober = WebLatencyProber(np.random.default_rng(0))
+        rtt = prober.probe_site(path(), "google.com")
+        assert rtt > 30.0  # at least the access RTT
+
+    def test_unknown_site_rejected(self):
+        prober = WebLatencyProber(np.random.default_rng(0))
+        with pytest.raises(MeasurementError):
+            prober.probe_site(path(), "example.org")
+
+    def test_median_latency_tracks_path(self):
+        prober = WebLatencyProber(np.random.default_rng(0))
+        near = np.median(
+            [prober.median_latency_ms(path(distance=20.0)) for _ in range(30)]
+        )
+        far = np.median(
+            [prober.median_latency_ms(path(distance=150.0)) for _ in range(30)]
+        )
+        assert far > near + 80.0
+
+    def test_cdn_gap_matters(self):
+        prober = WebLatencyProber(np.random.default_rng(0))
+        small = np.median(
+            [prober.median_latency_ms(path(cdn_gap=0.0)) for _ in range(30)]
+        )
+        large = np.median(
+            [prober.median_latency_ms(path(cdn_gap=40.0)) for _ in range(30)]
+        )
+        assert large > small + 15.0
+
+    def test_deterministic(self):
+        a = WebLatencyProber(np.random.default_rng(2)).median_latency_ms(path())
+        b = WebLatencyProber(np.random.default_rng(2)).median_latency_ms(path())
+        assert a == b

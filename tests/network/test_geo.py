@@ -1,0 +1,60 @@
+"""Network identity planning."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.network.geo import NetworkPlanner
+
+
+def planner(seed=0, isps=("ISP-A", "ISP-B")):
+    return NetworkPlanner("Testland", isps, np.random.default_rng(seed))
+
+
+class TestNetworkPlanner:
+    def test_home_network_fields(self):
+        net = planner().home_network()
+        assert net.isp in ("ISP-A", "ISP-B")
+        assert "/" in net.prefix
+        assert net.city
+
+    def test_requested_isp_respected(self):
+        net = planner().home_network("ISP-B")
+        assert net.isp == "ISP-B"
+
+    def test_unknown_isp_rejected(self):
+        with pytest.raises(DatasetError):
+            planner().home_network("Nope")
+
+    def test_prefixes_unique(self):
+        p = planner()
+        prefixes = {p.home_network().prefix for _ in range(100)}
+        assert len(prefixes) == 100
+
+    def test_switch_changes_tuple(self):
+        p = planner()
+        home = p.home_network()
+        for _ in range(20):
+            switched = p.switched_network(home)
+            assert switched != home  # prefix always fresh
+
+    def test_switch_usually_keeps_city(self):
+        p = planner(seed=2)
+        home = p.home_network()
+        same_city = sum(
+            1 for _ in range(200) if p.switched_network(home).city == home.city
+        )
+        assert same_city > 120
+
+    def test_no_isps_rejected(self):
+        with pytest.raises(DatasetError):
+            NetworkPlanner("X", (), np.random.default_rng(0))
+
+    def test_no_cities_rejected(self):
+        with pytest.raises(DatasetError):
+            NetworkPlanner("X", ("A",), np.random.default_rng(0), n_cities=0)
+
+    def test_deterministic(self):
+        a = planner(seed=5).home_network()
+        b = planner(seed=5).home_network()
+        assert a == b

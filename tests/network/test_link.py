@@ -1,0 +1,80 @@
+"""Access-link provisioning."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.market.plans import PlanTechnology
+from repro.network.link import AccessLink, provision_link
+
+
+class TestAccessLink:
+    def test_valid(self):
+        link = AccessLink(10.0, 1.0, PlanTechnology.DSL, 30.0, 0.001)
+        assert link.download_mbps == 10.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(MeasurementError):
+            AccessLink(0.0, 1.0, PlanTechnology.DSL, 30.0, 0.001)
+
+    def test_invalid_rtt(self):
+        with pytest.raises(MeasurementError):
+            AccessLink(10.0, 1.0, PlanTechnology.DSL, 0.0, 0.001)
+
+    def test_invalid_loss(self):
+        with pytest.raises(MeasurementError):
+            AccessLink(10.0, 1.0, PlanTechnology.DSL, 30.0, 1.0)
+
+
+class TestProvisionLink:
+    def test_fiber_delivers_advertised(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            link = provision_link(100.0, 50.0, PlanTechnology.FIBER, rng)
+            assert link.download_mbps >= 95.0
+
+    def test_dsl_degrades(self):
+        rng = np.random.default_rng(0)
+        ratios = [
+            provision_link(10.0, 1.0, PlanTechnology.DSL, rng).download_mbps / 10.0
+            for _ in range(200)
+        ]
+        assert min(ratios) < 0.85
+        assert max(ratios) <= 1.02
+
+    def test_technology_ceiling_enforced(self):
+        rng = np.random.default_rng(0)
+        link = provision_link(100.0, 10.0, PlanTechnology.DSL, rng)
+        assert link.download_mbps <= 25.0
+
+    def test_satellite_ceiling(self):
+        rng = np.random.default_rng(0)
+        link = provision_link(50.0, 5.0, PlanTechnology.SATELLITE, rng)
+        assert link.download_mbps <= 15.0
+
+    def test_upload_not_above_download(self):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            link = provision_link(5.0, 5.0, PlanTechnology.CABLE, rng)
+            assert link.upload_mbps <= link.download_mbps
+
+    def test_loss_multiplier_passed_through(self):
+        base = [
+            provision_link(
+                5.0, 0.5, PlanTechnology.DSL, np.random.default_rng(i)
+            ).loss_fraction
+            for i in range(100)
+        ]
+        scaled = [
+            provision_link(
+                5.0, 0.5, PlanTechnology.DSL, np.random.default_rng(i),
+                loss_multiplier=8.0,
+            ).loss_fraction
+            for i in range(100)
+        ]
+        assert np.mean(scaled) > 4 * np.mean(base)
+
+    def test_rtt_within_technology_profile(self):
+        rng = np.random.default_rng(0)
+        link = provision_link(10.0, 1.0, PlanTechnology.CABLE, rng)
+        assert 10.0 <= link.access_rtt_ms <= 35.0

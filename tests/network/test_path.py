@@ -1,0 +1,75 @@
+"""End-to-end paths."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.market.plans import PlanTechnology
+from repro.network.link import AccessLink
+from repro.network.path import NetworkPath, build_path
+
+
+def link(rtt=30.0, loss=0.001):
+    return AccessLink(10.0, 1.0, PlanTechnology.DSL, rtt, loss)
+
+
+class TestNetworkPath:
+    def test_ndt_rtt_composition(self):
+        path = NetworkPath(link(rtt=30.0), 50.0, 10.0, 0.0)
+        assert path.ndt_rtt_ms == 80.0
+
+    def test_web_rtt_includes_cdn_gap(self):
+        path = NetworkPath(link(rtt=30.0), 50.0, 10.0, 0.0)
+        assert path.web_rtt_ms == 90.0
+
+    def test_loss_combination(self):
+        path = NetworkPath(link(loss=0.01), 50.0, 0.0, 0.01)
+        assert path.loss_fraction == pytest.approx(1 - 0.99 * 0.99)
+
+    def test_loss_capped(self):
+        path = NetworkPath(link(loss=0.3), 50.0, 0.0, 0.3)
+        assert path.loss_fraction <= 0.5
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(MeasurementError):
+            NetworkPath(link(), -1.0, 0.0, 0.0)
+
+    def test_invalid_path_loss_rejected(self):
+        with pytest.raises(MeasurementError):
+            NetworkPath(link(), 10.0, 0.0, 1.0)
+
+
+class TestBuildPath:
+    def test_distance_scales_with_country_latency(self):
+        near = [
+            build_path(link(), 10.0, np.random.default_rng(i)).distance_rtt_ms
+            for i in range(100)
+        ]
+        far = [
+            build_path(link(), 120.0, np.random.default_rng(i)).distance_rtt_ms
+            for i in range(100)
+        ]
+        assert np.median(far) > 5 * np.median(near)
+
+    def test_remote_countries_get_cdn_gap(self):
+        gaps = [
+            build_path(link(), 140.0, np.random.default_rng(i)).cdn_gap_ms
+            for i in range(200)
+        ]
+        assert np.mean(gaps) > 5.0
+
+    def test_well_served_countries_small_gap(self):
+        gaps = [
+            build_path(link(), 15.0, np.random.default_rng(i)).cdn_gap_ms
+            for i in range(200)
+        ]
+        assert max(gaps) <= 8.0
+
+    def test_negative_extra_latency_rejected(self):
+        with pytest.raises(MeasurementError):
+            build_path(link(), -5.0, np.random.default_rng(0))
+
+    def test_deterministic(self):
+        a = build_path(link(), 50.0, np.random.default_rng(3))
+        b = build_path(link(), 50.0, np.random.default_rng(3))
+        assert a.distance_rtt_ms == b.distance_rtt_ms

@@ -1,0 +1,80 @@
+"""Mathis TCP throughput model."""
+
+import math
+
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.market.plans import PlanTechnology
+from repro.network.link import AccessLink
+from repro.network.path import NetworkPath
+from repro.network.tcp import (
+    DEFAULT_HOUSEHOLD_FLOWS,
+    effective_capacity_mbps,
+    mathis_throughput_mbps,
+)
+
+
+class TestMathis:
+    def test_known_value(self):
+        # MSS 1460 B, RTT 100 ms, loss 1%: ~1.43 Mbps per flow.
+        expected = 1460 * 8 / 0.1 * math.sqrt(1.5) / math.sqrt(0.01) / 1e6
+        assert mathis_throughput_mbps(100.0, 0.01) == pytest.approx(expected)
+
+    def test_loss_free_is_unbounded(self):
+        assert mathis_throughput_mbps(100.0, 0.0) == math.inf
+
+    def test_scales_with_flows(self):
+        single = mathis_throughput_mbps(50.0, 0.001, n_flows=1)
+        assert mathis_throughput_mbps(50.0, 0.001, n_flows=8) == pytest.approx(
+            8 * single
+        )
+
+    def test_decreases_with_rtt(self):
+        assert mathis_throughput_mbps(200.0, 0.01) < mathis_throughput_mbps(
+            50.0, 0.01
+        )
+
+    def test_decreases_with_loss(self):
+        assert mathis_throughput_mbps(50.0, 0.05) < mathis_throughput_mbps(
+            50.0, 0.001
+        )
+
+    def test_invalid_rtt(self):
+        with pytest.raises(MeasurementError):
+            mathis_throughput_mbps(0.0, 0.01)
+
+    def test_invalid_loss(self):
+        with pytest.raises(MeasurementError):
+            mathis_throughput_mbps(50.0, 1.0)
+
+    def test_invalid_flows(self):
+        with pytest.raises(MeasurementError):
+            mathis_throughput_mbps(50.0, 0.01, n_flows=0)
+
+
+def path_for(technology, rtt, loss, download=10.0):
+    link = AccessLink(download, 1.0, technology, rtt, loss)
+    return NetworkPath(link, 10.0, 0.0, 0.0)
+
+
+class TestEffectiveCapacity:
+    def test_clean_path_is_line_limited(self):
+        path = path_for(PlanTechnology.CABLE, 20.0, 1e-5)
+        assert effective_capacity_mbps(path) == pytest.approx(10.0)
+
+    def test_lossy_distant_path_is_tcp_limited(self):
+        path = path_for(PlanTechnology.WIRELESS, 300.0, 0.05)
+        assert effective_capacity_mbps(path) < 10.0
+
+    def test_satellite_pep_raises_ceiling(self):
+        # Same RTT/loss, but satellite's PEP caps the TCP-visible RTT.
+        sat = path_for(PlanTechnology.SATELLITE, 600.0, 0.01)
+        wireless = path_for(PlanTechnology.WIRELESS, 600.0, 0.01)
+        assert effective_capacity_mbps(sat) > effective_capacity_mbps(wireless)
+
+    def test_flow_count_matters_on_limited_paths(self):
+        path = path_for(PlanTechnology.WIRELESS, 300.0, 0.05)
+        assert effective_capacity_mbps(path, n_flows=2) < effective_capacity_mbps(
+            path, n_flows=DEFAULT_HOUSEHOLD_FLOWS
+        )

@@ -1,0 +1,100 @@
+"""Access-technology profiles."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.market.plans import PlanTechnology
+from repro.network.technology import TECH_PROFILES, sample_technology
+
+
+class TestProfiles:
+    def test_all_technologies_covered(self):
+        assert set(TECH_PROFILES) == set(PlanTechnology)
+
+    def test_satellite_is_high_latency(self):
+        sat = TECH_PROFILES[PlanTechnology.SATELLITE]
+        assert sat.rtt_range_ms[0] >= 400.0
+
+    def test_fiber_is_low_latency_low_loss(self):
+        fiber = TECH_PROFILES[PlanTechnology.FIBER]
+        assert fiber.rtt_range_ms[1] <= 30.0
+        assert fiber.loss_range[1] <= 1e-3
+
+    def test_only_satellite_has_pep(self):
+        for tech, profile in TECH_PROFILES.items():
+            if tech is PlanTechnology.SATELLITE:
+                assert profile.pep_rtt_ms is not None
+            else:
+                assert profile.pep_rtt_ms is None
+
+    def test_rtt_samples_in_range(self):
+        rng = np.random.default_rng(0)
+        profile = TECH_PROFILES[PlanTechnology.DSL]
+        for _ in range(100):
+            rtt = profile.sample_access_rtt_ms(rng)
+            assert profile.rtt_range_ms[0] <= rtt <= profile.rtt_range_ms[1]
+
+    def test_loss_samples_in_range(self):
+        rng = np.random.default_rng(0)
+        profile = TECH_PROFILES[PlanTechnology.CABLE]
+        for _ in range(100):
+            loss = profile.sample_loss_fraction(rng)
+            assert profile.loss_range[0] <= loss <= profile.loss_range[1]
+
+    def test_loss_multiplier_scales(self):
+        rng = np.random.default_rng(0)
+        profile = TECH_PROFILES[PlanTechnology.DSL]
+        base = [profile.sample_loss_fraction(np.random.default_rng(i)) for i in range(50)]
+        scaled = [
+            profile.sample_loss_fraction(np.random.default_rng(i), multiplier=10.0)
+            for i in range(50)
+        ]
+        assert np.mean(scaled) > 5 * np.mean(base)
+
+    def test_loss_capped(self):
+        rng = np.random.default_rng(0)
+        profile = TECH_PROFILES[PlanTechnology.WIRELESS]
+        for _ in range(100):
+            assert profile.sample_loss_fraction(rng, multiplier=100.0) <= 0.30
+
+    def test_invalid_multiplier(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(MeasurementError):
+            TECH_PROFILES[PlanTechnology.DSL].sample_loss_fraction(rng, 0.0)
+
+
+class TestSampleTechnology:
+    MIX = {
+        PlanTechnology.FIBER: 0.2,
+        PlanTechnology.DSL: 0.5,
+        PlanTechnology.SATELLITE: 0.3,
+    }
+
+    def test_respects_capacity_ceiling(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            tech = sample_technology(self.MIX, 100.0, rng)
+            assert tech is PlanTechnology.FIBER  # only fiber carries 100 Mbps
+
+    def test_low_capacity_uses_full_mix(self):
+        rng = np.random.default_rng(0)
+        seen = {sample_technology(self.MIX, 1.0, rng) for _ in range(300)}
+        assert seen == set(self.MIX)
+
+    def test_empty_feasible_falls_back_to_fiber(self):
+        rng = np.random.default_rng(0)
+        mix = {PlanTechnology.DSL: 1.0}
+        assert sample_technology(mix, 100.0, rng) is PlanTechnology.FIBER
+
+    def test_invalid_capacity(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(MeasurementError):
+            sample_technology(self.MIX, -1.0, rng)
+
+    def test_deterministic(self):
+        a = [
+            sample_technology(self.MIX, 5.0, np.random.default_rng(7))
+            for _ in range(3)
+        ]
+        assert a[0] == a[1] == a[2]

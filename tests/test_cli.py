@@ -1,0 +1,100 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.datasets.io import write_config_json, write_survey_csv, write_users_csv
+
+
+@pytest.fixture(scope="module")
+def data_dir(small_world, tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli-data")
+    write_users_csv(small_world.all_users, out / "users.csv")
+    write_survey_csv(small_world.survey, out / "survey.csv")
+    write_config_json(small_world.config, out / "config.json")
+    return out
+
+
+class TestParser:
+    def test_build_defaults(self):
+        args = build_parser().parse_args(["build", "--out", "/tmp/x"])
+        assert args.seed == 20141105
+        assert args.users == 2000
+
+    def test_analyze_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", "--data", "d", "--experiment", "bogus"]
+            )
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestBuild:
+    def test_build_writes_dataset(self, tmp_path, capsys):
+        rc = main(
+            [
+                "build", "--out", str(tmp_path / "w"), "--users", "60",
+                "--fcc", "10", "--days", "1.0", "--seed", "3",
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "w" / "users.csv").exists()
+        assert (tmp_path / "w" / "survey.csv").exists()
+        assert (tmp_path / "w" / "config.json").exists()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    @pytest.mark.parametrize("experiment", EXPERIMENTS)
+    def test_every_experiment_runs(self, data_dir, capsys, experiment):
+        rc = main(
+            ["analyze", "--data", str(data_dir), "--experiment", experiment]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"experiment: {experiment}" in out
+        assert len(out.splitlines()) >= 2
+
+    def test_missing_data_dir_fails_cleanly(self, tmp_path, capsys):
+        rc = main(
+            ["analyze", "--data", str(tmp_path), "--experiment", "fig1"]
+        )
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_survey_experiment_without_survey(self, small_world, tmp_path, capsys):
+        write_users_csv(small_world.dasu.users[:100], tmp_path / "users.csv")
+        rc = main(
+            ["analyze", "--data", str(tmp_path), "--experiment", "table5"]
+        )
+        assert rc == 2
+        assert "survey.csv" in capsys.readouterr().err
+
+
+class TestExport:
+    def test_export_writes_figures(self, data_dir, tmp_path, capsys):
+        rc = main(
+            ["export", "--data", str(data_dir), "--out", str(tmp_path / "figs")]
+        )
+        assert rc == 0
+        assert (tmp_path / "figs" / "fig1_characterization.csv").exists()
+        assert "figure-data files" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_to_stdout(self, data_dir, capsys):
+        rc = main(["report", "--data", str(data_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Reproduction report" in out
+        assert "Table 1" in out
+        assert "Section 7" in out
+
+    def test_report_to_file(self, data_dir, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        rc = main(["report", "--data", str(data_dir), "--out", str(target)])
+        assert rc == 0
+        assert "Reproduction report" in target.read_text()

@@ -1,0 +1,69 @@
+"""BitTorrent session schedules."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.traffic.bittorrent import BitTorrentSchedule, draw_bt_sessions
+from repro.units import SECONDS_PER_DAY
+
+
+class TestDrawBtSessions:
+    def test_session_count_scales_with_window(self):
+        rng = np.random.default_rng(0)
+        counts = [
+            draw_bt_sessions(10 * SECONDS_PER_DAY, np.random.default_rng(i)).n_sessions
+            for i in range(50)
+        ]
+        assert np.mean(counts) == pytest.approx(8.0, rel=0.25)
+
+    def test_sessions_within_window(self):
+        schedule = draw_bt_sessions(
+            5 * SECONDS_PER_DAY, np.random.default_rng(1)
+        )
+        if schedule.n_sessions:
+            assert np.all(schedule.intervals[:, 0] >= 0)
+            assert np.all(schedule.intervals[:, 1] <= 5 * SECONDS_PER_DAY)
+
+    def test_rate_shares_in_range(self):
+        schedule = draw_bt_sessions(
+            20 * SECONDS_PER_DAY, np.random.default_rng(2)
+        )
+        assert np.all(schedule.rate_shares >= 0.55)
+        assert np.all(schedule.rate_shares <= 0.92)
+
+    def test_sessions_are_long(self):
+        schedule = draw_bt_sessions(
+            50 * SECONDS_PER_DAY, np.random.default_rng(3)
+        )
+        durations = schedule.intervals[:, 1] - schedule.intervals[:, 0]
+        assert np.mean(durations) > 3600.0  # hours, not minutes
+
+    def test_zero_rate_possible(self):
+        schedule = draw_bt_sessions(
+            0.1 * SECONDS_PER_DAY,
+            np.random.default_rng(4),
+            sessions_per_day=0.01,
+        )
+        assert schedule.n_sessions == 0
+
+    def test_invalid_duration(self):
+        with pytest.raises(DatasetError):
+            draw_bt_sessions(0.0, np.random.default_rng(0))
+
+    def test_invalid_rate_share_range(self):
+        with pytest.raises(DatasetError):
+            draw_bt_sessions(
+                1000.0, np.random.default_rng(0), rate_share_range=(0.9, 0.5)
+            )
+
+    def test_mismatched_schedule_rejected(self):
+        with pytest.raises(DatasetError):
+            BitTorrentSchedule(
+                intervals=np.zeros((2, 2)), rate_shares=np.zeros(1)
+            )
+
+    def test_deterministic(self):
+        a = draw_bt_sessions(SECONDS_PER_DAY, np.random.default_rng(7))
+        b = draw_bt_sessions(SECONDS_PER_DAY, np.random.default_rng(7))
+        assert np.array_equal(a.intervals, b.intervals)
