@@ -1,9 +1,15 @@
 """Benchmark harness fixtures.
 
-Builds one paper-scale world per benchmark session (larger than the test
-world so that every per-country tier of the case study crosses the
-paper's 30-user reporting threshold) and provides a tiny report printer
-so each benchmark shows its paper-vs-measured rows inline.
+Provides one paper-scale world per benchmark session (larger than the
+test world so that every per-country tier of the case study crosses the
+paper's 30-user reporting threshold) and a tiny report printer so each
+benchmark shows its paper-vs-measured rows inline.
+
+The world is obtained through the on-disk build cache
+(:mod:`repro.datasets.cache`): the first session builds it — sharded
+across every available CPU, which is bit-identical to a serial build —
+and later sessions load the persisted datasets instead of rebuilding.
+Set ``REPRO_CACHE_DIR`` to relocate the cache.
 
 Run with::
 
@@ -12,9 +18,12 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.datasets import World, WorldConfig, build_world
+from repro.datasets import World, WorldConfig
+from repro.datasets.cache import build_or_load_world
 
 PAPER_WORLD_CONFIG = WorldConfig(
     seed=20141105,
@@ -27,7 +36,12 @@ PAPER_WORLD_CONFIG = WorldConfig(
 @pytest.fixture(scope="session")
 def paper_world() -> World:
     """The world every reproduction benchmark runs against."""
-    return build_world(PAPER_WORLD_CONFIG)
+    world, from_cache = build_or_load_world(
+        PAPER_WORLD_CONFIG, jobs=os.cpu_count() or 1
+    )
+    source = "cache" if from_cache else "fresh build"
+    print(f"\npaper world ready ({source}, {len(world.all_users)} users)")
+    return world
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,18 @@
+"""Root pytest configuration.
+
+Lives at the repository root (not under ``tests/``) because
+``pytest_addoption`` hooks are only discovered in root-level conftests
+when pytest is invoked without path arguments.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden snapshots under tests/golden/ instead "
+             "of comparing against them",
+    )

@@ -24,6 +24,7 @@ Quickstart::
     print(result.peak.row())
 """
 
+from ._version import __version__
 from .core import (
     Bin,
     BinSpec,
@@ -38,8 +39,6 @@ from .core import (
 )
 from .datasets import World, WorldConfig, build_world
 from .exceptions import ReproError
-
-__version__ = "1.0.0"
 
 __all__ = [
     "Bin",

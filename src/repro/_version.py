@@ -1,0 +1,9 @@
+"""Single source of the package version.
+
+Lives in its own module (rather than ``repro/__init__``) so that
+leaf modules — notably :mod:`repro.datasets.cache`, whose cache keys
+incorporate the code version — can import it without creating an
+import cycle through the package root.
+"""
+
+__version__ = "1.0.0"

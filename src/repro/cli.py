@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Three subcommands cover the study lifecycle::
+Four subcommands cover the study lifecycle::
 
     python -m repro build   --out DIR [--seed N --users N --fcc N --days D]
+                            [--jobs N --no-cache --cache-dir DIR]
     python -m repro analyze --data DIR --experiment NAME
-    python -m repro report  --data DIR [--out FILE]
+    python -m repro report  [--data DIR | --seed N --users N ...] [--out FILE]
     python -m repro export  --data DIR --out DIR
 
 ``build`` generates a world and persists it (users.csv, survey.csv,
@@ -12,6 +13,13 @@ config.json); ``analyze`` runs a single paper experiment against a
 persisted dataset; ``report`` renders the full paper-vs-measured report.
 Everything operates on the on-disk record formats, so third-party
 datasets in the same schema work too.
+
+``build`` and ``report`` consult an on-disk world cache keyed by the
+full configuration and package version (see
+:mod:`repro.datasets.cache`): rebuilding the same world is a copy, and
+``report`` without ``--data`` renders straight from the cache, skipping
+the build entirely. ``--no-cache`` forces a fresh build; ``--jobs N``
+shards the build across N worker processes with bit-identical output.
 """
 
 from __future__ import annotations
@@ -24,7 +32,9 @@ from typing import Sequence
 from .analysis import capacity, characterization, longitudinal, price, quality, upgrade_cost
 from .analysis.paper_report import full_report
 from .analysis.report import format_experiment_row
+from .core.executor import resolve_jobs
 from .datasets import WorldConfig, build_world
+from .datasets.cache import WorldCache, cache_key
 from .datasets.io import (
     read_survey_csv,
     read_users_csv,
@@ -45,22 +55,38 @@ EXPERIMENTS = (
 )
 
 
-def _build(args: argparse.Namespace) -> int:
-    out = Path(args.out)
-    out.mkdir(parents=True, exist_ok=True)
-    config = WorldConfig(
+def _world_config(args: argparse.Namespace) -> WorldConfig:
+    return WorldConfig(
         seed=args.seed,
         n_dasu_users=args.users,
         n_fcc_users=args.fcc,
         days_per_year=args.days,
     )
+
+
+def _build(args: argparse.Namespace) -> int:
+    jobs = resolve_jobs(args.jobs)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    config = _world_config(args)
+    cache = WorldCache(args.cache_dir)
+    key = cache_key(config)
+    if not args.no_cache and cache.fetch_into(config, out):
+        print(f"cache hit ({key[:12]}): reused cached world, "
+              "skipping build")
+        print(f"wrote cached dataset to {out}")
+        return 0
     print(f"building world (seed={config.seed}, {config.n_dasu_users} "
-          "Dasu users)...", flush=True)
-    world = build_world(config)
+          f"Dasu users, jobs={jobs})...", flush=True)
+    world = build_world(config, jobs=jobs)
     n_users = write_users_csv(world.all_users, out / "users.csv")
     n_plans = write_survey_csv(world.survey, out / "survey.csv")
     write_config_json(config, out / "config.json")
     print(f"wrote {n_users} user-period rows, {n_plans} plan rows to {out}")
+    if not args.no_cache:
+        entry = cache.store(world)
+        if entry is not None:
+            print(f"cached world under key {key[:12]}")
     return 0
 
 
@@ -228,7 +254,26 @@ def _analyze(args: argparse.Namespace) -> int:
 
 
 def _report(args: argparse.Namespace) -> int:
-    dasu, fcc, survey = _load(Path(args.data))
+    jobs = resolve_jobs(args.jobs)
+    if args.data is not None:
+        dasu, fcc, survey = _load(Path(args.data))
+    else:
+        # No dataset directory: render from the world cache, building
+        # (and caching) only on a miss.
+        config = _world_config(args)
+        cache = WorldCache(args.cache_dir)
+        key = cache_key(config)
+        world = None if args.no_cache else cache.load(config)
+        if world is not None:
+            print(f"cache hit ({key[:12]}): skipping build")
+        else:
+            print(f"building world (seed={config.seed}, "
+                  f"{config.n_dasu_users} Dasu users, jobs={jobs})...",
+                  flush=True)
+            world = build_world(config, jobs=jobs)
+            if not args.no_cache:
+                cache.store(world)
+        dasu, fcc, survey = world.dasu.users, world.fcc.users, world.survey
     text = full_report(dasu, fcc, survey)
     if args.out:
         Path(args.out).write_text(text + "\n")
@@ -256,15 +301,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_world_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=20141105)
+        p.add_argument("--users", type=int, default=2000,
+                       help="Dasu users to simulate")
+        p.add_argument("--fcc", type=int, default=400,
+                       help="FCC gateways to simulate")
+        p.add_argument("--days", type=float, default=1.5,
+                       help="observed days per user per year")
+
+    def add_cache_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the build (output is "
+                            "identical for any value; default 1)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="ignore the world cache and rebuild")
+        p.add_argument("--cache-dir", default=None,
+                       help="world cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro/worlds)")
+
     p_build = sub.add_parser("build", help="generate and persist a world")
     p_build.add_argument("--out", required=True, help="output directory")
-    p_build.add_argument("--seed", type=int, default=20141105)
-    p_build.add_argument("--users", type=int, default=2000,
-                         help="Dasu users to simulate")
-    p_build.add_argument("--fcc", type=int, default=400,
-                         help="FCC gateways to simulate")
-    p_build.add_argument("--days", type=float, default=1.5,
-                         help="observed days per user per year")
+    add_world_args(p_build)
+    add_cache_args(p_build)
     p_build.set_defaults(func=_build)
 
     p_analyze = sub.add_parser("analyze", help="run one paper experiment")
@@ -274,8 +333,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.set_defaults(func=_analyze)
 
     p_report = sub.add_parser("report", help="full paper-vs-measured report")
-    p_report.add_argument("--data", required=True)
+    p_report.add_argument("--data",
+                          help="directory written by 'build'; omit to "
+                               "build/load a world from the cache instead")
     p_report.add_argument("--out", help="write the report to a file")
+    add_world_args(p_report)
+    add_cache_args(p_report)
     p_report.set_defaults(func=_report)
 
     p_export = sub.add_parser(

@@ -15,7 +15,9 @@ This package implements the statistical machinery of Bischof et al. (IMC'14):
 * :mod:`repro.core.upgrades` — detection of per-user service switches and
   before/after demand deltas;
 * :mod:`repro.core.regression` — per-market price~capacity regression used
-  to estimate the cost of increasing capacity.
+  to estimate the cost of increasing capacity;
+* :mod:`repro.core.executor` — deterministic sharded execution across
+  worker processes (used by the world builder).
 """
 
 from .binning import (
@@ -29,6 +31,7 @@ from .binning import (
     explicit_bins,
     geometric_bins,
 )
+from .executor import resolve_jobs, run_sharded
 from .experiments import ExperimentResult, NaturalExperiment, PairedOutcome
 from .matching import MatchedPair, MatchingSummary, caliper_compatible, match_pairs
 from .metrics import DemandSummary, demand_summary, peak_demand, utilization
@@ -81,6 +84,8 @@ __all__ = [
     "peak_demand",
     "pearson_r",
     "percentile",
+    "resolve_jobs",
+    "run_sharded",
     "spearman_r",
     "utilization",
     "wilson_interval",

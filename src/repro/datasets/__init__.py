@@ -6,10 +6,13 @@
 * :mod:`repro.datasets.builder` — the end-to-end generator: markets,
   populations, traffic, measurement clients, record assembly;
 * :mod:`repro.datasets.io` — CSV/JSON persistence for the generated
-  datasets.
+  datasets;
+* :mod:`repro.datasets.cache` — on-disk build cache keyed by
+  configuration and code version.
 """
 
 from .builder import build_world
+from .cache import WorldCache, build_or_load_world, cache_key
 from .records import PeriodObservation, UserRecord, period_year
 from .traces import UsageTrace, read_traces_npz, write_traces_npz
 from .world import DasuDataset, FccDataset, World, WorldConfig
@@ -21,8 +24,11 @@ __all__ = [
     "UsageTrace",
     "UserRecord",
     "World",
+    "WorldCache",
     "WorldConfig",
+    "build_or_load_world",
     "build_world",
+    "cache_key",
     "period_year",
     "read_traces_npz",
     "write_traces_npz",

@@ -6,10 +6,23 @@ the simulated measurement clients over the result, and assembles the
 analysis-ready datasets. This module is the only place where ground truth
 (latent users) and measurements meet; everything downstream sees records
 only.
+
+Determinism and parallelism
+---------------------------
+
+Every household owns an independent random stream derived from
+``SeedSequence([seed, source_stream, country_index, user_index])``, so a
+user's draws never depend on how many users ran before it, in which
+process, or in which order. World-level state (markets, survey, city
+names) comes from separate fixed streams. Consequently
+``build_world(config, jobs=N)`` is **bit-identical** for every worker
+count ``N`` and every chunk size — the equivalence tests in
+``tests/datasets/test_parallel_builder.py`` lock this down.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -18,6 +31,7 @@ from ..behavior.choice import ChoiceModel
 from ..behavior.demand import DemandProcess
 from ..behavior.population import LatentUser, PopulationModel
 from ..behavior.upgrades import UpgradePolicy
+from ..core.executor import resolve_jobs, run_sharded
 from ..core.metrics import demand_summary
 from ..core.upgrades import NetworkId, ServicePeriod
 from ..exceptions import DatasetError
@@ -29,7 +43,7 @@ from ..measurement.dasu import DasuClient, DasuVantage
 from ..measurement.gateway import FccGateway
 from ..measurement.ndt import NdtClient
 from ..measurement.web_latency import WebLatencyProber
-from ..network.geo import NetworkPlanner
+from ..network.geo import NetworkPlanner, sample_cities
 from ..network.link import AccessLink, provision_link
 from ..network.path import NetworkPath, build_path
 from ..network.technology import sample_technology
@@ -45,6 +59,28 @@ _DAYS_PER_YEAR = 365.0
 #: practice the user-year) is dropped, as the paper drops sparse vantages.
 _MIN_SAMPLES = 150
 _MIN_NO_BT_SAMPLES = 60
+
+#: Fixed stream tags for :class:`numpy.random.SeedSequence` derivation.
+#: Changing any of these changes every world; they are part of the
+#: on-disk cache key via the package version.
+_MARKET_STREAM = 1
+_DASU_STREAM = 2
+_FCC_STREAM = 3
+_CITY_STREAM = 4
+
+#: Households simulated per sharded task. Small enough to balance load
+#: across workers, large enough to amortize task dispatch; the result is
+#: invariant to this value (each user carries its own seed stream).
+_DEFAULT_CHUNK_SIZE = 32
+
+
+def _user_rng(
+    seed: int, stream: int, country_index: int, user_index: int
+) -> np.random.Generator:
+    """The independent random stream owned by one household."""
+    return np.random.default_rng(
+        np.random.SeedSequence([seed, stream, country_index, user_index])
+    )
 
 
 def _allocate_counts(weights: np.ndarray, total: int) -> np.ndarray:
@@ -68,7 +104,12 @@ class _YearOutcome:
 
 
 class _CountrySimulator:
-    """Simulates all households of one country for one data source."""
+    """Simulates one household of one country for one data source.
+
+    Instances are cheap and single-use: the builder creates one per
+    household, handing it that household's private random stream plus the
+    country-level immutables (profile, market, city names).
+    """
 
     def __init__(
         self,
@@ -77,20 +118,18 @@ class _CountrySimulator:
         config: WorldConfig,
         rng: np.random.Generator,
         source: str,
+        cities: tuple[str, ...] | None = None,
     ) -> None:
         self.profile = profile
         self.market = market
         self.config = config
         self.rng = rng
         self.source = source
+        self.cities = cities
+        self.isps = tuple(sorted({p.isp for p in market.plans}))
         self.population = PopulationModel()
         self.choice_model = ChoiceModel()
         self.upgrade_policy = UpgradePolicy(self.choice_model)
-        self.planner = NetworkPlanner(
-            profile.name,
-            tuple(sorted({p.isp for p in market.plans})),
-            rng,
-        )
         self.ndt = NdtClient(rng)
         self.web_prober = WebLatencyProber(rng)
 
@@ -354,6 +393,13 @@ class _CountrySimulator:
     def simulate_user(
         self, user_id: str
     ) -> tuple[UserRecord, LatentUser, tuple[UsageTrace, ...]] | None:
+        planner = NetworkPlanner(
+            self.profile.name,
+            self.isps,
+            self.rng,
+            cities=self.cities,
+            prefix_salt=zlib.crc32(user_id.encode("utf-8")),
+        )
         keep_traces = (
             self.config.trace_user_fraction > 0.0
             and self.rng.random() < self.config.trace_user_fraction
@@ -366,7 +412,7 @@ class _CountrySimulator:
         original_user = user
         link = self._provision(plan)
         path = self._path_for(link, previous=None)
-        network = self.planner.home_network(plan.isp)
+        network = planner.home_network(plan.isp)
         entry_year, exit_year = self._observed_year_range()
 
         # Demand growth is a single episode (see PopulationModel): pick
@@ -417,7 +463,7 @@ class _CountrySimulator:
                 link = self._provision(plan)
                 moved = decision.reason == "moved"
                 path = self._path_for(link, None if moved else path)
-                network = self.planner.switched_network(network)
+                network = planner.switched_network(network)
 
         if not observations:
             return None
@@ -452,67 +498,178 @@ class _CountrySimulator:
         return record, original_user, tuple(traces)
 
 
-def build_world(config: WorldConfig | None = None) -> World:
-    """Build a complete synthetic world from a configuration."""
-    if config is None:
-        config = WorldConfig()
+# -- sharded orchestration ---------------------------------------------------
 
-    market_rng = np.random.default_rng([config.seed, 1])
-    profiles = build_profiles(
-        market_rng, include_synthetic=config.include_synthetic_countries
-    )
-    profile_map = {p.name: p for p in profiles}
-    survey = generate_survey(profiles, market_rng)
 
+@dataclass(frozen=True)
+class _ChunkSpec:
+    """One shardable unit of work: a contiguous index range of one
+    country's households for one data source. Specs are tiny and
+    picklable; all heavyweight state is rebuilt per worker from the
+    configuration."""
+
+    source: str
+    country: str
+    country_index: int
+    stream: int
+    start: int
+    count: int
+
+
+class _BuildContext:
+    """World-level deterministic state, rebuilt identically in every
+    worker process from the configuration alone."""
+
+    def __init__(self, config: WorldConfig) -> None:
+        self.config = config
+        market_rng = np.random.default_rng([config.seed, _MARKET_STREAM])
+        self.profiles = build_profiles(
+            market_rng, include_synthetic=config.include_synthetic_countries
+        )
+        self.profile_map = {p.name: p for p in self.profiles}
+        self.survey = generate_survey(self.profiles, market_rng)
+        self._cities: dict[tuple[int, int], tuple[str, ...]] = {}
+
+    def cities_for(self, stream: int, country_index: int) -> tuple[str, ...]:
+        """Country-level city names, from their own fixed stream so they
+        are identical no matter which worker asks first."""
+        key = (stream, country_index)
+        if key not in self._cities:
+            rng = np.random.default_rng(
+                [self.config.seed, _CITY_STREAM, stream, country_index]
+            )
+            self._cities[key] = sample_cities(rng)
+        return self._cities[key]
+
+
+def _plan_chunks(
+    config: WorldConfig, profiles: tuple[CountryProfile, ...], chunk_size: int
+) -> list[_ChunkSpec]:
+    """Deterministic shard plan: country enumeration order, then index."""
     weights = np.array([p.dasu_user_weight for p in profiles], dtype=float)
     dasu_counts = _allocate_counts(weights, config.n_dasu_users)
+    specs: list[_ChunkSpec] = []
+    for country_index, profile in enumerate(profiles):
+        count = int(dasu_counts[country_index])
+        for start in range(0, count, chunk_size):
+            specs.append(
+                _ChunkSpec(
+                    source="dasu",
+                    country=profile.name,
+                    country_index=country_index,
+                    stream=_DASU_STREAM,
+                    start=start,
+                    count=min(chunk_size, count - start),
+                )
+            )
+    if config.n_fcc_users > 0:
+        us_index = next(
+            (i for i, p in enumerate(profiles) if p.name == "US"), None
+        )
+        if us_index is None:
+            raise DatasetError("the FCC panel requires a US market")
+        for start in range(0, config.n_fcc_users, chunk_size):
+            specs.append(
+                _ChunkSpec(
+                    source="fcc",
+                    country="US",
+                    country_index=us_index,
+                    stream=_FCC_STREAM,
+                    start=start,
+                    count=min(chunk_size, config.n_fcc_users - start),
+                )
+            )
+    return specs
+
+
+_ChunkResult = list[tuple[UserRecord, LatentUser, tuple[UsageTrace, ...]]]
+
+
+def _simulate_chunk(context: _BuildContext, spec: _ChunkSpec) -> _ChunkResult:
+    """Simulate one chunk of households; shared by serial and parallel
+    paths, so the two are equivalent by construction."""
+    config = context.config
+    profile = context.profile_map[spec.country]
+    market = context.survey.market(spec.country)
+    cities = context.cities_for(spec.stream, spec.country_index)
+    results: _ChunkResult = []
+    for user_index in range(spec.start, spec.start + spec.count):
+        rng = _user_rng(
+            config.seed, spec.stream, spec.country_index, user_index
+        )
+        simulator = _CountrySimulator(
+            profile, market, config, rng, source=spec.source, cities=cities
+        )
+        outcome = simulator.simulate_user(
+            f"{spec.source}-{spec.country}-{user_index:05d}"
+        )
+        if outcome is not None:
+            results.append(outcome)
+    return results
+
+
+#: Per-process build context for pool workers (set by ``_worker_init``).
+_WORKER_CONTEXT: _BuildContext | None = None
+
+
+def _worker_init(config: WorldConfig) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = _BuildContext(config)
+
+
+def _worker_chunk(spec: _ChunkSpec) -> _ChunkResult:
+    assert _WORKER_CONTEXT is not None, "worker used before initialization"
+    return _simulate_chunk(_WORKER_CONTEXT, spec)
+
+
+def build_world(
+    config: WorldConfig | None = None,
+    *,
+    jobs: int | None = 1,
+    chunk_size: int | None = None,
+) -> World:
+    """Build a complete synthetic world from a configuration.
+
+    ``jobs`` shards the per-household simulation across that many worker
+    processes (``None`` = one per CPU); the result is bit-identical for
+    every ``jobs`` and ``chunk_size`` value.
+    """
+    if config is None:
+        config = WorldConfig()
+    n_jobs = resolve_jobs(jobs)
+    if chunk_size is not None and chunk_size < 1:
+        raise DatasetError("chunk size must be a positive integer")
+    size = chunk_size if chunk_size is not None else _DEFAULT_CHUNK_SIZE
+
+    context = _BuildContext(config)
+    specs = _plan_chunks(config, context.profiles, size)
+    if n_jobs == 1:
+        chunk_results = [_simulate_chunk(context, spec) for spec in specs]
+    else:
+        chunk_results = run_sharded(
+            _worker_chunk,
+            specs,
+            jobs=n_jobs,
+            initializer=_worker_init,
+            initargs=(config,),
+        )
 
     dasu_users: list[UserRecord] = []
     fcc_users: list[UserRecord] = []
     ground_truth: dict[str, LatentUser] = {}
     traces: dict[str, tuple[UsageTrace, ...]] = {}
-
-    for country_index, profile in enumerate(profiles):
-        count = int(dasu_counts[country_index])
-        if count == 0:
-            continue
-        rng = np.random.default_rng([config.seed, 2, country_index])
-        simulator = _CountrySimulator(
-            profile, survey.market(profile.name), config, rng, source="dasu"
-        )
-        for i in range(count):
-            result = simulator.simulate_user(
-                f"dasu-{profile.name}-{i:05d}"
-            )
-            if result is None:
-                continue
-            record, latent, user_traces = result
-            dasu_users.append(record)
-            ground_truth[record.user_id] = latent
-            if user_traces:
-                traces[record.user_id] = user_traces
-
-    if config.n_fcc_users > 0:
-        if "US" not in profile_map:
-            raise DatasetError("the FCC panel requires a US market")
-        rng = np.random.default_rng([config.seed, 3])
-        simulator = _CountrySimulator(
-            profile_map["US"], survey.market("US"), config, rng, source="fcc"
-        )
-        for i in range(config.n_fcc_users):
-            result = simulator.simulate_user(f"fcc-US-{i:05d}")
-            if result is None:
-                continue
-            record, latent, user_traces = result
-            fcc_users.append(record)
+    for spec, results in zip(specs, chunk_results):
+        bucket = dasu_users if spec.source == "dasu" else fcc_users
+        for record, latent, user_traces in results:
+            bucket.append(record)
             ground_truth[record.user_id] = latent
             if user_traces:
                 traces[record.user_id] = user_traces
 
     return World(
         config=config,
-        profiles=profile_map,
-        survey=survey,
+        profiles=context.profile_map,
+        survey=context.survey,
         dasu=DasuDataset(users=tuple(dasu_users)),
         fcc=FccDataset(users=tuple(fcc_users)),
         ground_truth=ground_truth,

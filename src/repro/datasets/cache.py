@@ -1,0 +1,209 @@
+"""On-disk world cache keyed by configuration and code version.
+
+Building a paper-scale world is by far the most expensive step of the
+pipeline, and every benchmark session and CLI invocation used to repeat
+it from scratch. Because a :class:`WorldConfig` fully determines a world
+(the builder is bit-reproducible, see :mod:`repro.datasets.builder`),
+the persisted datasets can be reused safely: the cache key is a SHA-256
+over every configuration field **plus the package version**, so any
+change to either the knobs or the generator code invalidates the entry.
+
+Each entry is a directory ``<root>/<key>/`` holding exactly the files
+the CLI's ``build`` command writes (``users.csv``, ``survey.csv``,
+``config.json``), written atomically via a temp directory + rename.
+Corrupt or unreadable entries are treated as misses — the caller falls
+back to a clean build, never crashes.
+
+Cached worlds carry **records only**: latent ground-truth users and raw
+traces are not persisted, so :func:`WorldCache.load` returns a
+:class:`World` with empty ``ground_truth``/``traces`` mappings, and
+configurations with ``trace_user_fraction > 0`` bypass the cache
+entirely. No analysis reads ground truth, so cached worlds are
+indistinguishable for every figure, table, and report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from .._version import __version__
+from ..exceptions import ReproError
+from ..market.countries import build_profiles
+from ..market.survey import PlanSurvey
+from .builder import build_world
+from .io import (
+    read_config_json,
+    read_survey_csv,
+    read_users_csv,
+    write_config_json,
+    write_survey_csv,
+    write_users_csv,
+)
+from .records import UserRecord
+from .world import DasuDataset, FccDataset, World, WorldConfig
+
+__all__ = [
+    "WorldCache",
+    "build_or_load_world",
+    "cache_key",
+    "default_cache_root",
+]
+
+#: Bump when the on-disk entry layout changes (invalidates all entries).
+CACHE_FORMAT_VERSION = 1
+
+_ENTRY_FILES = ("users.csv", "survey.csv", "config.json")
+
+
+def cache_key(config: WorldConfig) -> str:
+    """Content hash of every world knob plus the generator version."""
+    payload = dataclasses.asdict(config)
+    payload["__package_version__"] = __version__
+    payload["__cache_format__"] = CACHE_FORMAT_VERSION
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro/worlds``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "worlds"
+
+
+def _world_from_records(
+    config: WorldConfig, users: list[UserRecord], survey: PlanSurvey
+) -> World:
+    """Reassemble a records-only :class:`World` from persisted datasets."""
+    profiles = build_profiles(
+        np.random.default_rng([config.seed, 1]),
+        include_synthetic=config.include_synthetic_countries,
+    )
+    return World(
+        config=config,
+        profiles={p.name: p for p in profiles},
+        survey=survey,
+        dasu=DasuDataset(
+            users=tuple(u for u in users if u.source == "dasu")
+        ),
+        fcc=FccDataset(users=tuple(u for u in users if u.source == "fcc")),
+        ground_truth={},
+        traces={},
+    )
+
+
+class WorldCache:
+    """A directory of persisted worlds, one entry per cache key."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    def entry_dir(self, config: WorldConfig) -> Path:
+        return self.root / cache_key(config)
+
+    def _cacheable(self, config: WorldConfig) -> bool:
+        # Raw traces are not persisted; trace-bearing worlds must always
+        # be rebuilt so their traces exist.
+        return config.trace_user_fraction == 0.0
+
+    def load(self, config: WorldConfig) -> World | None:
+        """The cached world for ``config``, or ``None`` on miss.
+
+        Any unreadable, truncated, or mismatched entry is a miss: the
+        caller falls back to a clean build.
+        """
+        if not self._cacheable(config):
+            return None
+        entry = self.entry_dir(config)
+        try:
+            stored = read_config_json(entry / "config.json")
+            if stored != config:
+                return None
+            users = read_users_csv(entry / "users.csv")
+            survey = read_survey_csv(entry / "survey.csv")
+        except (ReproError, OSError, ValueError, KeyError, TypeError):
+            # Unreadable, truncated, or schema-mismatched entry: a miss.
+            return None
+        return _world_from_records(config, users, survey)
+
+    def fetch_into(self, config: WorldConfig, out_dir: str | Path) -> bool:
+        """Copy a validated entry's raw files into ``out_dir``.
+
+        Returns ``False`` on a miss (including corruption). The copies
+        are byte-identical to what a fresh ``build`` would have written.
+        """
+        if self.load(config) is None:
+            return False
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        entry = self.entry_dir(config)
+        for name in _ENTRY_FILES:
+            shutil.copyfile(entry / name, out / name)
+        return True
+
+    def store(self, world: World) -> Path | None:
+        """Persist a world atomically; returns the entry path.
+
+        Returns ``None`` (stores nothing) for trace-bearing worlds.
+        """
+        if not self._cacheable(world.config):
+            return None
+        self.root.mkdir(parents=True, exist_ok=True)
+        staging = Path(
+            tempfile.mkdtemp(prefix=".staging-", dir=self.root)
+        )
+        try:
+            write_users_csv(world.all_users, staging / "users.csv")
+            write_survey_csv(world.survey, staging / "survey.csv")
+            write_config_json(world.config, staging / "config.json")
+            entry = self.entry_dir(world.config)
+            if entry.exists():
+                shutil.rmtree(entry)
+            os.replace(staging, entry)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        return entry
+
+    def invalidate(self, config: WorldConfig) -> bool:
+        """Drop the entry for ``config``; returns whether one existed."""
+        entry = self.entry_dir(config)
+        if not entry.exists():
+            return False
+        shutil.rmtree(entry)
+        return True
+
+
+def build_or_load_world(
+    config: WorldConfig,
+    *,
+    jobs: int | None = 1,
+    cache: WorldCache | None = None,
+    use_cache: bool = True,
+) -> tuple[World, bool]:
+    """Load ``config``'s world from cache, or build and persist it.
+
+    Returns ``(world, from_cache)``. Cache write failures are
+    non-fatal — the freshly built world is returned regardless.
+    """
+    store = cache if cache is not None else WorldCache()
+    if use_cache:
+        cached = store.load(config)
+        if cached is not None:
+            return cached, True
+    world = build_world(config, jobs=jobs)
+    if use_cache:
+        try:
+            store.store(world)
+        except OSError:
+            pass
+    return world, False

@@ -4,16 +4,23 @@ The paper identifies a network by the tuple (ISP name, network prefix,
 geolocated city); a user switching services moves between such tuples.
 The :class:`NetworkPlanner` hands out deterministic, country-consistent
 network identities, reusing the ISP names of the country's retail market.
+
+Prefix octets are derived with a CRC32-based hash rather than Python's
+builtin ``hash()``: the builtin is salted per interpreter process, and
+the parallel world builder requires identical prefixes from every worker
+process (and across separate CLI invocations, for the build cache).
 """
 
 from __future__ import annotations
+
+import zlib
 
 import numpy as np
 
 from ..core.upgrades import NetworkId
 from ..exceptions import DatasetError
 
-__all__ = ["NetworkPlanner"]
+__all__ = ["NetworkPlanner", "sample_cities"]
 
 _CITY_STEMS = (
     "North", "South", "East", "West", "New", "Old", "Port", "Lake",
@@ -25,12 +32,32 @@ _CITY_ROOTS = (
 )
 
 
+def _stable_hash(text: str) -> int:
+    """A process-independent string hash (builtin ``hash`` is salted)."""
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def sample_cities(rng: np.random.Generator, n_cities: int = 6) -> tuple[str, ...]:
+    """Draw a country's city names; shared by every planner of a country."""
+    if n_cities < 1:
+        raise DatasetError("a country needs at least one city")
+    return tuple(
+        f"{_CITY_STEMS[int(rng.integers(len(_CITY_STEMS)))]}"
+        f"{_CITY_ROOTS[int(rng.integers(len(_CITY_ROOTS)))]}"
+        f"-{i}"
+        for i in range(n_cities)
+    )
+
+
 class NetworkPlanner:
     """Deterministic generator of (ISP, prefix, city) identities.
 
-    One planner is built per country; prefixes are unique per (ISP, city)
-    pair so that a service change always lands on a different tuple, the
-    way the paper's switch detection requires.
+    Prefixes are unique per (ISP, city) pair within a planner so that a
+    service change always lands on a different tuple, the way the paper's
+    switch detection requires. The parallel builder creates one planner
+    per household, passing a pre-drawn country-level ``cities`` tuple
+    (so city names stay country-consistent) and a per-user
+    ``prefix_salt`` (so prefixes rarely collide across households).
     """
 
     def __init__(
@@ -39,28 +66,31 @@ class NetworkPlanner:
         isps: tuple[str, ...],
         rng: np.random.Generator,
         n_cities: int = 6,
+        cities: tuple[str, ...] | None = None,
+        prefix_salt: int = 0,
     ) -> None:
         if not isps:
             raise DatasetError(f"{country}: needs at least one ISP")
-        if n_cities < 1:
+        if cities is not None and not cities:
             raise DatasetError(f"{country}: needs at least one city")
         self.country = country
         self.isps = isps
         self._rng = rng
-        self.cities = tuple(
-            f"{_CITY_STEMS[int(rng.integers(len(_CITY_STEMS)))]}"
-            f"{_CITY_ROOTS[int(rng.integers(len(_CITY_ROOTS)))]}"
-            f"-{i}"
-            for i in range(n_cities)
+        self.cities = (
+            cities if cities is not None else sample_cities(rng, n_cities)
         )
+        self._prefix_salt = int(prefix_salt) % 256
         self._next_prefix: dict[tuple[str, str], int] = {}
 
     def _fresh_prefix(self, isp: str, city: str) -> str:
         index = self._next_prefix.get((isp, city), 0)
         self._next_prefix[(isp, city)] = index + 1
-        isp_octet = 10 + (abs(hash((self.country, isp))) % 200)
-        city_octet = abs(hash(city)) % 250
-        return f"{isp_octet}.{city_octet}.{index % 256}.0/24"
+        isp_octet = 10 + (_stable_hash(f"{self.country}|{isp}") % 200)
+        city_octet = _stable_hash(city) % 250
+        return (
+            f"{isp_octet}.{city_octet}."
+            f"{(self._prefix_salt + index) % 256}.0/24"
+        )
 
     def home_network(self, isp: str | None = None) -> NetworkId:
         """A fresh network identity for a new subscriber household."""

@@ -8,10 +8,25 @@ tests; unit tests build their own tiny inputs instead.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.datasets import World, WorldConfig, build_world
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_world_cache(tmp_path_factory):
+    """Keep tests hermetic: never touch the user's real world cache."""
+    root = tmp_path_factory.mktemp("world-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture()

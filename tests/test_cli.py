@@ -20,6 +20,14 @@ class TestParser:
         args = build_parser().parse_args(["build", "--out", "/tmp/x"])
         assert args.seed == 20141105
         assert args.users == 2000
+        assert args.jobs == 1
+        assert args.no_cache is False
+        assert args.cache_dir is None
+
+    def test_report_data_now_optional(self):
+        args = build_parser().parse_args(["report"])
+        assert args.data is None
+        assert args.seed == 20141105
 
     def test_analyze_requires_known_experiment(self):
         with pytest.raises(SystemExit):
@@ -38,6 +46,7 @@ class TestBuild:
             [
                 "build", "--out", str(tmp_path / "w"), "--users", "60",
                 "--fcc", "10", "--days", "1.0", "--seed", "3",
+                "--cache-dir", str(tmp_path / "cache"),
             ]
         )
         assert rc == 0
@@ -45,6 +54,38 @@ class TestBuild:
         assert (tmp_path / "w" / "survey.csv").exists()
         assert (tmp_path / "w" / "config.json").exists()
         assert "wrote" in capsys.readouterr().out
+
+    def test_parallel_build_matches_serial(self, tmp_path, capsys):
+        base = [
+            "--users", "40", "--fcc", "10", "--days", "1.0", "--seed", "3",
+            "--no-cache",
+        ]
+        assert main(["build", "--out", str(tmp_path / "s")] + base) == 0
+        assert main(
+            ["build", "--out", str(tmp_path / "p"), "--jobs", "3"] + base
+        ) == 0
+        assert "jobs=3" in capsys.readouterr().out
+        assert (
+            (tmp_path / "s" / "users.csv").read_bytes()
+            == (tmp_path / "p" / "users.csv").read_bytes()
+        )
+
+    @pytest.mark.parametrize("jobs", ["0", "-1"])
+    def test_bad_jobs_rejected_with_clear_error(self, tmp_path, capsys, jobs):
+        rc = main(
+            ["build", "--out", str(tmp_path / "w"), "--users", "10",
+             "--jobs", jobs]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "jobs" in err
+        assert "positive integer" in err
+
+    @pytest.mark.parametrize("jobs", ["0", "-1"])
+    def test_report_rejects_bad_jobs_too(self, capsys, jobs):
+        rc = main(["report", "--users", "10", "--jobs", jobs])
+        assert rc == 2
+        assert "positive integer" in capsys.readouterr().err
 
 
 class TestAnalyze:

@@ -1,0 +1,63 @@
+"""Golden snapshot of the full report.
+
+The parallel/cached build refactor must not change a single analysis
+number, so the complete ``full_report`` text for a small fixed-seed
+world is pinned byte-for-byte under ``tests/golden/``. Any behavioral
+drift in the generative substrate, the measurement clients, or the
+analysis toolkit fails this test loudly.
+
+To regenerate after an *intentional* behavior change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_report.py --regen-golden
+
+then review the golden diff like any other code change.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.paper_report import full_report
+from repro.datasets import WorldConfig, build_world
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_REPORT = GOLDEN_DIR / "full_report_seed11.txt"
+
+#: Small enough to build in ~1 s, large enough that every report section
+#: has data. Changing this config invalidates the snapshot — regenerate.
+GOLDEN_CONFIG = WorldConfig(
+    seed=11, n_dasu_users=400, n_fcc_users=80, days_per_year=1.0
+)
+
+
+@pytest.fixture(scope="module")
+def report_text() -> str:
+    world = build_world(GOLDEN_CONFIG)
+    return full_report(world.dasu.users, world.fcc.users, world.survey)
+
+
+def test_full_report_matches_golden(report_text, request):
+    if request.config.getoption("--regen-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        GOLDEN_REPORT.write_text(report_text + "\n")
+        pytest.skip(f"regenerated {GOLDEN_REPORT}")
+    assert GOLDEN_REPORT.exists(), (
+        "golden snapshot missing — regenerate with "
+        "`python -m pytest tests/test_golden_report.py --regen-golden`"
+    )
+    expected = GOLDEN_REPORT.read_text()
+    assert report_text + "\n" == expected, (
+        "full_report drifted from the golden snapshot; if the change is "
+        "intentional, regenerate with --regen-golden and review the diff"
+    )
+
+
+def test_report_is_parallel_invariant(report_text):
+    """The pinned report is also what a 2-worker build produces."""
+    world = build_world(GOLDEN_CONFIG, jobs=2, chunk_size=17)
+    parallel_text = full_report(
+        world.dasu.users, world.fcc.users, world.survey
+    )
+    assert parallel_text == report_text
