@@ -53,12 +53,23 @@ def demand_outcome(metric: str, include_bt: bool) -> Callable[[UserRecord], floa
     return outcome
 
 
+def _market_value(value: float | None) -> float:
+    """A market covariate as a matching confounder; NaN marks *missing*.
+
+    Only ``None`` means missing — a 0.0 price (free or bundled plan) or
+    a 0.0 upgrade cost (flat-priced tiers) is a legitimate market
+    condition and must stay in the matching pool, so truthiness checks
+    are off limits here.
+    """
+    return math.nan if value is None else float(value)
+
+
 CONFOUNDER_EXTRACTORS: dict[str, Callable[[UserRecord], float]] = {
     "capacity": lambda u: u.capacity_down_mbps,
     "latency": lambda u: u.latency_ms,
     "loss": lambda u: max(u.loss_fraction, _LOSS_MATCH_FLOOR),
-    "price_of_access": lambda u: float(u.price_of_access_usd or math.nan),
-    "upgrade_cost": lambda u: float(u.upgrade_cost_usd_per_mbps or math.nan),
+    "price_of_access": lambda u: _market_value(u.price_of_access_usd),
+    "upgrade_cost": lambda u: _market_value(u.upgrade_cost_usd_per_mbps),
 }
 
 

@@ -4,12 +4,33 @@ Runs every table and figure of the paper's evaluation over a set of
 datasets and renders one plain-text report with the paper's reported
 values alongside the measured ones. This is what the CLI's ``report``
 command and the benchmark summaries are built from.
+
+The report is assembled from independent **fragments** — one natural
+experiment, table, or binned-curve panel each — declared in
+:data:`_FRAGMENTS` and grouped into the paper's sections by
+:data:`_SECTIONS`. Because fragments share no state, they run through
+:func:`repro.core.executor.run_sharded` exactly like the world builder's
+shards: ``jobs=1`` executes them serially in-process, ``jobs=N`` fans
+them out over a process pool, and either way the fragments are rendered
+independently and reassembled in declaration order, so the report text
+is byte-identical for any worker count. Section-skip semantics are
+preserved: if any fragment of a section raises
+:class:`~repro.exceptions.AnalysisError`, the section collapses to
+``[section skipped: ...]`` citing the first failing fragment in section
+order, exactly as the serial single-pass implementation did.
+
+Each fragment is timed (wall and CPU, inside whichever process ran it);
+pass a :class:`~repro.core.timing.StageTimer` to collect the profile the
+CLI's ``--profile`` flag prints.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
+from ..core.executor import run_sharded
+from ..core.timing import StageTimer, StageTiming, measure_stage
 from ..datasets.records import UserRecord
 from ..exceptions import AnalysisError
 from ..market.survey import PlanSurvey
@@ -21,7 +42,14 @@ from .upgrade_cost import Table5Result
 __all__ = ["full_report", "section_reports"]
 
 
-def _section_fig1(dasu: Sequence[UserRecord]) -> str:
+# ---------------------------------------------------------------------------
+# Fragment builders. Each returns one rendered text block (or None when its
+# optional dataset is absent) for a slice of a section, and must not depend
+# on any other fragment having run.
+# ---------------------------------------------------------------------------
+
+
+def _fragment_fig1(dasu, fcc, survey) -> str:
     result = characterization.figure1(dasu)
     lines = [f"Figure 1 — connection characterization (n={result.n_users})"]
     for label, paper, measured in result.summary_rows():
@@ -31,34 +59,46 @@ def _section_fig1(dasu: Sequence[UserRecord]) -> str:
     return "\n".join(lines)
 
 
-def _section_capacity(
-    dasu: Sequence[UserRecord], fcc: Sequence[UserRecord] | None
-) -> str:
-    lines = ["Section 3 — impact of capacity"]
+def _fragment_fig2(dasu, fcc, survey) -> str:
     fig2 = capacity.figure2(dasu)
-    lines.append(format_curve("  Fig. 2d: peak demand, no BT", fig2.peak_no_bt))
+    lines = [format_curve("  Fig. 2d: peak demand, no BT", fig2.peak_no_bt)]
     lines.append(
         f"  min panel correlation: paper >= 0.870, measured "
         f"{fig2.min_correlation:.3f}"
     )
-    if fcc:
-        fig3 = capacity.figure3(dasu, fcc)
-        lines.append(
-            f"  Fig. 3: Dasu/FCC mean ratio {fig3.mean_ratio_dasu_over_fcc:.2f}"
-            f", peak ratio {fig3.peak_ratio_dasu_over_fcc:.2f}"
-        )
+    return "\n".join(lines)
+
+
+def _fragment_fig3(dasu, fcc, survey) -> str | None:
+    if not fcc:
+        return None
+    fig3 = capacity.figure3(dasu, fcc)
+    return (
+        f"  Fig. 3: Dasu/FCC mean ratio {fig3.mean_ratio_dasu_over_fcc:.2f}"
+        f", peak ratio {fig3.peak_ratio_dasu_over_fcc:.2f}"
+    )
+
+
+def _fragment_table1(dasu, fcc, survey) -> str:
     t1 = capacity.table1(dasu)
-    lines.append(f"  Table 1 ({t1.n_observations} slow/fast pairs):")
+    lines = [f"  Table 1 ({t1.n_observations} slow/fast pairs):"]
     for label, paper, result in t1.rows():
         lines.append("  " + format_experiment_row(label, paper, result))
+    return "\n".join(lines)
+
+
+def _fragment_fig4(dasu, fcc, survey) -> str:
     fig4 = capacity.figure4(dasu)
-    lines.append(
+    return (
         f"  Fig. 4: median mean usage x{fig4.mean_ratio_at_median:.1f} "
         f"(paper x2.0), median peak x{fig4.peak_ratio_at_median:.1f} "
         f"(paper x3.3) on the faster network"
     )
+
+
+def _fragment_table2(dasu, fcc, survey) -> str:
     t2 = capacity.table2(dasu, "dasu")
-    lines.append("  Table 2 (Dasu):")
+    lines = ["  Table 2 (Dasu):"]
     for row in t2.rows:
         lines.append(
             "  "
@@ -69,7 +109,7 @@ def _section_capacity(
     return "\n".join(lines)
 
 
-def _section_longitudinal(dasu: Sequence[UserRecord]) -> str:
+def _fragment_fig6(dasu, fcc, survey) -> str:
     result = longitudinal.figure6(dasu, min_users=30)
     lines = ["Section 4 — longitudinal trends (Fig. 6)"]
     lines.append(
@@ -89,29 +129,36 @@ def _section_longitudinal(dasu: Sequence[UserRecord]) -> str:
     return "\n".join(lines)
 
 
-def _section_price(
-    dasu: Sequence[UserRecord], survey: PlanSurvey | None
-) -> str:
-    lines = ["Section 5 — price of broadband access"]
+def _fragment_table3(dasu, fcc, survey) -> str:
     t3 = price.table3(dasu)
+    lines = []
     for label, paper, result in t3.rows():
         lines.append("  " + format_experiment_row(label, paper, result))
-    if survey is not None:
-        t4 = price.table4(dasu, survey)
-        lines.append("  Table 4 (paper/measured):")
-        for row in t4.rows:
-            paper = Table4Result.PAPER_VALUES[row.country]
-            lines.append(
-                f"    {row.country:<13} median {paper[1]:>6.2f}/"
-                f"{row.median_capacity_mbps:<8.2f} income-share "
-                f"{100 * paper[5]:>4.1f}%/"
-                f"{100 * row.cost_share_of_monthly_income:.1f}%"
-            )
+    return "\n".join(lines)
+
+
+def _fragment_table4(dasu, fcc, survey) -> str | None:
+    if survey is None:
+        return None
+    t4 = price.table4(dasu, survey)
+    lines = ["  Table 4 (paper/measured):"]
+    for row in t4.rows:
+        paper = Table4Result.PAPER_VALUES[row.country]
+        lines.append(
+            f"    {row.country:<13} median {paper[1]:>6.2f}/"
+            f"{row.median_capacity_mbps:<8.2f} income-share "
+            f"{100 * paper[5]:>4.1f}%/"
+            f"{100 * row.cost_share_of_monthly_income:.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def _fragment_fig7(dasu, fcc, survey) -> str:
     fig7 = price.figure7(dasu)
-    lines.append(
+    lines = [
         "  Fig. 7: utilization order reverses capacity order: "
         f"{fig7.utilization_order_reverses_capacity_order()}"
-    )
+    ]
     for entry in fig7.countries:
         lines.append(
             f"    {entry.country:<13} capacity {entry.median_capacity_mbps:>7.2f}"
@@ -120,43 +167,51 @@ def _section_price(
     return "\n".join(lines)
 
 
-def _section_upgrade_cost(
-    dasu: Sequence[UserRecord], survey: PlanSurvey | None
-) -> str:
-    lines = ["Section 6 — cost of increasing capacity"]
-    if survey is not None:
-        fig10 = upgrade_cost.figure10(survey)
-        strong, moderate = upgrade_cost.correlation_summary(survey)
+def _fragment_fig10(dasu, fcc, survey) -> str | None:
+    if survey is None:
+        return None
+    fig10 = upgrade_cost.figure10(survey)
+    strong, moderate = upgrade_cost.correlation_summary(survey)
+    return (
+        f"  Fig. 10: {fig10.n_countries} qualifying markets; "
+        f"correlation strong {strong:.2f} (paper 0.66), "
+        f"moderate {moderate:.2f} (paper 0.81)"
+    )
+
+
+def _fragment_table5(dasu, fcc, survey) -> str | None:
+    if survey is None:
+        return None
+    t5 = upgrade_cost.table5(survey)
+    lines = ["  Table 5 (paper/measured, % above $1/$5/$10):"]
+    for row in t5.rows:
+        if row.n_countries == 0:
+            continue
+        paper = Table5Result.PAPER_VALUES[row.region]
         lines.append(
-            f"  Fig. 10: {fig10.n_countries} qualifying markets; "
-            f"correlation strong {strong:.2f} (paper 0.66), "
-            f"moderate {moderate:.2f} (paper 0.81)"
+            f"    {row.region:<27} "
+            f"{100 * paper[0]:>3.0f}/{100 * row.share_above_1:<4.0f} "
+            f"{100 * paper[1]:>3.0f}/{100 * row.share_above_5:<4.0f} "
+            f"{100 * paper[2]:>3.0f}/{100 * row.share_above_10:<4.0f}"
         )
-        t5 = upgrade_cost.table5(survey)
-        lines.append("  Table 5 (paper/measured, % above $1/$5/$10):")
-        for row in t5.rows:
-            if row.n_countries == 0:
-                continue
-            paper = Table5Result.PAPER_VALUES[row.region]
-            lines.append(
-                f"    {row.region:<27} "
-                f"{100 * paper[0]:>3.0f}/{100 * row.share_above_1:<4.0f} "
-                f"{100 * paper[1]:>3.0f}/{100 * row.share_above_5:<4.0f} "
-                f"{100 * paper[2]:>3.0f}/{100 * row.share_above_10:<4.0f}"
-            )
-    for include_bt in (True, False):
-        t6 = upgrade_cost.table6(dasu, include_bt=include_bt)
-        tag = "w/ BT" if include_bt else "no BT"
-        lines.append(f"  Table 6 ({tag}):")
-        for label, paper, result in t6.rows():
-            lines.append("  " + format_experiment_row(label, paper, result))
     return "\n".join(lines)
 
 
-def _section_quality(dasu: Sequence[UserRecord]) -> str:
-    lines = ["Section 7 — connection quality"]
+def _table6_fragment(include_bt: bool) -> Callable:
+    def build(dasu, fcc, survey) -> str:
+        t6 = upgrade_cost.table6(dasu, include_bt=include_bt)
+        tag = "w/ BT" if include_bt else "no BT"
+        lines = [f"  Table 6 ({tag}):"]
+        for label, paper, result in t6.rows():
+            lines.append("  " + format_experiment_row(label, paper, result))
+        return "\n".join(lines)
+
+    return build
+
+
+def _fragment_table7(dasu, fcc, survey) -> str:
     t7 = quality.table7(dasu)
-    lines.append("  Table 7 (latency):")
+    lines = ["  Table 7 (latency):"]
     for row in t7.rows:
         lines.append(
             "  "
@@ -166,15 +221,22 @@ def _section_quality(dasu: Sequence[UserRecord]) -> str:
                 row.experiment,
             )
         )
+    return "\n".join(lines)
+
+
+def _fragment_fig11(dasu, fcc, survey) -> str:
     fig11 = quality.figure11(dasu)
-    lines.append(
+    return (
         f"  Fig. 11: India median latency {fig11.india_median_ndt_ms:.0f} ms "
         f"vs rest {fig11.other_median_ndt_ms:.0f} ms; India demands less "
         f"than matched US users {100 * fig11.india_lower_demand_share:.0f}% "
         f"of the time (paper 62%)"
     )
+
+
+def _fragment_table8(dasu, fcc, survey) -> str:
     t8 = quality.table8(dasu)
-    lines.append("  Table 8 (packet loss):")
+    lines = ["  Table 8 (packet loss):"]
     for row in t8.rows:
         lines.append(
             "  "
@@ -182,11 +244,113 @@ def _section_quality(dasu: Sequence[UserRecord]) -> str:
                 row.experiment.result.name, row.paper_percent, row.experiment
             )
         )
+    return "\n".join(lines)
+
+
+def _fragment_fig12(dasu, fcc, survey) -> str:
     fig12 = quality.figure12(dasu)
-    lines.append(
+    return (
         f"  Fig. 12: median loss India {fig12.india_median_loss_pct:.2f}% "
         f"vs rest {fig12.other_median_loss_pct:.3f}%"
     )
+
+
+#: Every fragment of the report, in declaration (= output) order.
+_FRAGMENTS: dict[str, Callable] = {
+    "fig1": _fragment_fig1,
+    "fig2": _fragment_fig2,
+    "fig3": _fragment_fig3,
+    "table1": _fragment_table1,
+    "fig4": _fragment_fig4,
+    "table2": _fragment_table2,
+    "fig6": _fragment_fig6,
+    "table3": _fragment_table3,
+    "table4": _fragment_table4,
+    "fig7": _fragment_fig7,
+    "fig10": _fragment_fig10,
+    "table5": _fragment_table5,
+    "table6_bt": _table6_fragment(include_bt=True),
+    "table6_nobt": _table6_fragment(include_bt=False),
+    "table7": _fragment_table7,
+    "fig11": _fragment_fig11,
+    "table8": _fragment_table8,
+    "fig12": _fragment_fig12,
+}
+
+#: The paper's sections: an optional static header plus the ordered
+#: fragment keys whose blocks make up the section body.
+_SECTIONS: tuple[tuple[str | None, tuple[str, ...]], ...] = (
+    (None, ("fig1",)),
+    ("Section 3 — impact of capacity", ("fig2", "fig3", "table1", "fig4", "table2")),
+    (None, ("fig6",)),
+    ("Section 5 — price of broadband access", ("table3", "table4", "fig7")),
+    (
+        "Section 6 — cost of increasing capacity",
+        ("fig10", "table5", "table6_bt", "table6_nobt"),
+    ),
+    ("Section 7 — connection quality", ("table7", "fig11", "table8", "fig12")),
+)
+
+
+@dataclass(frozen=True)
+class _FragmentOutput:
+    """One fragment's rendered block (or failure) plus its timing."""
+
+    key: str
+    text: str | None
+    error: str | None
+    timing: StageTiming
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+
+# Worker-process context: the datasets are shipped once per worker via the
+# pool initializer instead of once per task, so a fragment task is just its
+# key. With jobs=1, run_sharded invokes the initializer in-process and the
+# serial path exercises exactly the same code.
+_CTX: tuple | None = None
+
+
+def _init_fragment_worker(dasu, fcc, survey) -> None:
+    global _CTX
+    _CTX = (dasu, fcc, survey)
+
+
+def _run_fragment(key: str) -> _FragmentOutput:
+    assert _CTX is not None, "fragment worker used before initialization"
+    dasu, fcc, survey = _CTX
+    build = _FRAGMENTS[key]
+
+    def build_safe() -> tuple[str | None, str | None]:
+        try:
+            return build(dasu, fcc, survey), None
+        except AnalysisError as exc:
+            return None, str(exc)
+
+    (text, error), timing = measure_stage(key, build_safe)
+    return _FragmentOutput(key=key, text=text, error=error, timing=timing)
+
+
+def _assemble_section(
+    header: str | None, outputs: Sequence[_FragmentOutput]
+) -> str:
+    """Join fragment blocks under the section header.
+
+    The first failed fragment (in section order) skips the whole
+    section, mirroring the serial implementation where an
+    AnalysisError aborted the section at that point.
+    """
+    for out in outputs:
+        if out.failed:
+            return f"[section skipped: {out.error}]"
+    lines = [] if header is None else [header]
+    for out in outputs:
+        # None (dataset absent) and "" (a table with zero rows) both
+        # rendered nothing in the serial single-pass implementation.
+        if out.text:
+            lines.append(out.text)
     return "\n".join(lines)
 
 
@@ -194,35 +358,52 @@ def section_reports(
     dasu: Sequence[UserRecord],
     fcc: Sequence[UserRecord] | None = None,
     survey: PlanSurvey | None = None,
+    *,
+    jobs: int | None = 1,
+    profiler: StageTimer | None = None,
 ) -> list[str]:
     """One rendered block per paper section; sections whose data are
     insufficient (e.g. no Indian users) are reported as skipped rather
-    than aborting the whole report."""
+    than aborting the whole report.
+
+    ``jobs`` fans the fragments out over a process pool (``None`` = one
+    worker per CPU); the rendered text is byte-identical for any value.
+    ``profiler`` collects one :class:`StageTiming` per fragment, in
+    report order.
+    """
     if not dasu:
         raise AnalysisError("a report needs at least the Dasu dataset")
-    sections = []
-    builders = (
-        lambda: _section_fig1(dasu),
-        lambda: _section_capacity(dasu, fcc),
-        lambda: _section_longitudinal(dasu),
-        lambda: _section_price(dasu, survey),
-        lambda: _section_upgrade_cost(dasu, survey),
-        lambda: _section_quality(dasu),
+    keys = [key for _, section_keys in _SECTIONS for key in section_keys]
+    outputs = run_sharded(
+        _run_fragment,
+        keys,
+        jobs=jobs,
+        initializer=_init_fragment_worker,
+        initargs=(dasu, fcc, survey),
     )
-    for build in builders:
-        try:
-            sections.append(build())
-        except AnalysisError as exc:
-            sections.append(f"[section skipped: {exc}]")
-    return sections
+    by_key = {out.key: out for out in outputs}
+    if profiler is not None:
+        for out in outputs:
+            profiler.add(out.timing)
+    return [
+        _assemble_section(header, [by_key[k] for k in section_keys])
+        for header, section_keys in _SECTIONS
+    ]
 
 
 def full_report(
     dasu: Sequence[UserRecord],
     fcc: Sequence[UserRecord] | None = None,
     survey: PlanSurvey | None = None,
+    *,
+    jobs: int | None = 1,
+    profiler: StageTimer | None = None,
 ) -> str:
-    """The complete paper-vs-measured report as one string."""
+    """The complete paper-vs-measured report as one string.
+
+    See :func:`section_reports` for the ``jobs``/``profiler`` contract;
+    the report text is byte-identical for any worker count.
+    """
     header = (
         "Reproduction report — Bischof, Bustamante & Stanojevic, "
         "IMC 2014\n"
@@ -232,7 +413,9 @@ def full_report(
     )
     divider = "=" * 72
     blocks = [header]
-    for section in section_reports(dasu, fcc, survey):
+    for section in section_reports(
+        dasu, fcc, survey, jobs=jobs, profiler=profiler
+    ):
         blocks.append(divider)
         blocks.append(section)
     return "\n".join(blocks)

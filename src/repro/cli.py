@@ -19,7 +19,9 @@ full configuration and package version (see
 :mod:`repro.datasets.cache`): rebuilding the same world is a copy, and
 ``report`` without ``--data`` renders straight from the cache, skipping
 the build entirely. ``--no-cache`` forces a fresh build; ``--jobs N``
-shards the build across N worker processes with bit-identical output.
+shards both the build and the report's analysis fragments across N
+worker processes with byte-identical output; ``report --profile``
+prints per-fragment wall/CPU timings to stderr.
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ from .analysis import capacity, characterization, longitudinal, price, quality, 
 from .analysis.paper_report import full_report
 from .analysis.report import format_experiment_row
 from .core.executor import resolve_jobs
+from .core.timing import StageTimer, format_profile
 from .datasets import WorldConfig, build_world
 from .datasets.cache import WorldCache, cache_key
 from .datasets.io import (
@@ -274,12 +277,20 @@ def _report(args: argparse.Namespace) -> int:
             if not args.no_cache:
                 cache.store(world)
         dasu, fcc, survey = world.dasu.users, world.fcc.users, world.survey
-    text = full_report(dasu, fcc, survey)
+    profiler = StageTimer() if args.profile else None
+    text = full_report(dasu, fcc, survey, jobs=jobs, profiler=profiler)
     if args.out:
         Path(args.out).write_text(text + "\n")
         print(f"report written to {args.out}")
     else:
         print(text)
+    if profiler is not None:
+        # The profile goes to stderr so the report itself stays
+        # byte-identical (and pipeable) whether or not it is requested.
+        print(
+            format_profile(profiler.timings, title="analysis profile"),
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -312,7 +323,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_cache_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for the build (output is "
+                       help="worker processes for the build and, under "
+                            "'report', the analysis stage (output is "
                             "identical for any value; default 1)")
         p.add_argument("--no-cache", action="store_true",
                        help="ignore the world cache and rebuild")
@@ -337,6 +349,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="directory written by 'build'; omit to "
                                "build/load a world from the cache instead")
     p_report.add_argument("--out", help="write the report to a file")
+    p_report.add_argument("--profile", action="store_true",
+                          help="print per-fragment wall/CPU timings of the "
+                               "analysis stage to stderr")
     add_world_args(p_report)
     add_cache_args(p_report)
     p_report.set_defaults(func=_report)

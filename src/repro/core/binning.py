@@ -9,7 +9,9 @@ latency bins, and packet-loss bins.
 
 from __future__ import annotations
 
+import decimal
 import math
+import numbers
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -101,7 +103,11 @@ class Bin:
             raise BinningError(f"empty bin ({self.low}, {self.high}]")
 
     def __contains__(self, value: object) -> bool:
-        if not isinstance(value, (int, float)):
+        # Any real number can be placed on the line: builtin ints/floats,
+        # numpy scalars (numbers.Real), and Decimal (a Real in behavior
+        # but deliberately unregistered with the ABC). NaN compares
+        # False on both sides and so is never a member.
+        if not isinstance(value, (numbers.Real, decimal.Decimal)):
             return False
         return self.low < value <= self.high
 
@@ -200,7 +206,16 @@ def capacity_class(capacity_mbps: float) -> int:
     ratio = capacity_mbps / CAPACITY_CLASS_BASE_MBPS
     if ratio <= 1.0:
         return 1
-    return max(1, math.ceil(math.log2(ratio)))
+    k = max(1, math.ceil(math.log2(ratio)))
+    # log2 rounds edge-adjacent values (within an ulp of a class edge) onto
+    # the edge itself, so repair the estimate against the exact bounds the
+    # bins use; this keeps capacity_class consistent with
+    # capacity_class_bounds / BinSpec membership at every edge.
+    while capacity_mbps > CAPACITY_CLASS_BASE_MBPS * 2**k:
+        k += 1
+    while k > 1 and capacity_mbps <= CAPACITY_CLASS_BASE_MBPS * 2 ** (k - 1):
+        k -= 1
+    return k
 
 
 def capacity_class_bounds(k: int) -> Bin:

@@ -27,6 +27,7 @@ __all__ = [
     "MatchedPair",
     "MatchingSummary",
     "caliper_compatible",
+    "candidate_chunk_rows",
     "match_pairs",
 ]
 
@@ -39,6 +40,26 @@ DEFAULT_CALIPER = 0.25
 #: Values at or below this magnitude are treated as "zero" for ratio
 #: comparisons (e.g. unmeasurably small packet-loss rates).
 ZERO_FLOOR = 1e-6
+
+#: Memory budget for one candidate-enumeration block, in float64 cells of
+#: the (chunk, treatment, confounder) difference array (~32 MB).
+CANDIDATE_CELL_BUDGET = 4_000_000
+
+
+def candidate_chunk_rows(
+    n_treatment: int,
+    n_confounders: int,
+    cell_budget: int = CANDIDATE_CELL_BUDGET,
+) -> int:
+    """Control rows per candidate-enumeration block.
+
+    The block materializes a ``(chunk, n_treatment, n_confounders)``
+    difference array, so the budget must be divided by *both* trailing
+    dimensions — dividing by the treatment count alone would let peak
+    memory grow ``n_confounders``-fold past the bound.
+    """
+    cells_per_row = max(1, n_treatment) * max(1, n_confounders)
+    return max(1, cell_budget // cells_per_row)
 
 
 def caliper_compatible(a: float, b: float, caliper: float = DEFAULT_CALIPER) -> bool:
@@ -93,19 +114,26 @@ def _confounder_matrix(
     units: Sequence[T],
     confounders: Sequence[Callable[[T], float]],
 ) -> np.ndarray:
-    """Log-space confounder matrix, one row per unit."""
-    rows = []
-    for unit in units:
-        row = []
-        for extract in confounders:
-            value = float(extract(unit))
-            if math.isnan(value) or value < 0:
-                raise MatchingError(
-                    f"confounder {extract!r} produced invalid value {value!r}"
-                )
-            row.append(math.log(max(value, ZERO_FLOOR)))
-        rows.append(row)
-    return np.asarray(rows, dtype=float).reshape(len(units), len(confounders))
+    """Log-space confounder matrix, one row per unit.
+
+    Extraction is necessarily one Python call per (unit, confounder),
+    but validation and the log transform run vectorized per column.
+    """
+    columns = []
+    for extract in confounders:
+        values = np.fromiter(
+            (float(extract(unit)) for unit in units),
+            dtype=float,
+            count=len(units),
+        )
+        invalid = np.isnan(values) | (values < 0)
+        if invalid.any():
+            value = float(values[int(np.argmax(invalid))])
+            raise MatchingError(
+                f"confounder {extract!r} produced invalid value {value!r}"
+            )
+        columns.append(np.log(np.maximum(values, ZERO_FLOOR)))
+    return np.column_stack(columns).reshape(len(units), len(confounders))
 
 
 def match_pairs(
@@ -145,7 +173,7 @@ def match_pairs(
 
     # Enumerate caliper-compatible candidate pairs in chunks of control rows
     # so peak memory stays bounded for large pools.
-    chunk = max(1, int(4_000_000 / max(1, len(treatment))))
+    chunk = candidate_chunk_rows(len(treatment), len(confounders))
     ci_parts: list[np.ndarray] = []
     ti_parts: list[np.ndarray] = []
     dist_parts: list[np.ndarray] = []

@@ -1,8 +1,9 @@
 """Statistical primitives used by the natural-experiment framework.
 
-The one-tailed binomial test is implemented from first principles (stable
-log-space evaluation of the binomial tail) because it is the load-bearing
-statistic of the paper; the test suite cross-checks it against
+The one-tailed binomial test is implemented from first principles (the
+binomial tail as a regularized incomplete beta function, evaluated by a
+log-space continued fraction) because it is the load-bearing statistic
+of the paper; the test suite cross-checks it against
 ``scipy.stats.binomtest``.
 """
 
@@ -26,6 +27,7 @@ __all__ = [
     "mean_confidence_interval",
     "pearson_r",
     "percentile",
+    "regularized_incomplete_beta",
     "spearman_r",
     "wilson_interval",
 ]
@@ -50,25 +52,114 @@ def log_binomial_pmf(k: int, n: int, p: float) -> float:
     return log_choose + k * math.log(p) + (n - k) * math.log1p(-p)
 
 
+#: Continued-fraction convergence threshold and iteration cap; 300
+#: iterations is far beyond what any (a, b, x) reachable from a binomial
+#: tail needs (convergence is typically < 50 iterations).
+_BETACF_EPS = 3.0e-16
+_BETACF_MAX_ITER = 300
+_BETACF_TINY = 1.0e-300
+
+
+def _beta_continued_fraction(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta function (Lentz).
+
+    Evaluates the continued fraction of DLMF 8.17.22 with the modified
+    Lentz algorithm; callers must ensure ``x < (a + 1) / (a + b + 2)``
+    for fast convergence (use the symmetry transform otherwise).
+    """
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _BETACF_TINY:
+        d = _BETACF_TINY
+    d = 1.0 / d
+    h = d
+    for m in range(1, _BETACF_MAX_ITER + 1):
+        m2 = 2 * m
+        # Even step.
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _BETACF_TINY:
+            d = _BETACF_TINY
+        c = 1.0 + aa / c
+        if abs(c) < _BETACF_TINY:
+            c = _BETACF_TINY
+        d = 1.0 / d
+        h *= d * c
+        # Odd step.
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _BETACF_TINY:
+            d = _BETACF_TINY
+        c = 1.0 + aa / c
+        if abs(c) < _BETACF_TINY:
+            c = _BETACF_TINY
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _BETACF_EPS:
+            return h
+    raise AnalysisError(
+        f"incomplete beta continued fraction failed to converge "
+        f"(a={a}, b={b}, x={x})"
+    )
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """The regularized incomplete beta function ``I_x(a, b)``.
+
+    The prefactor ``x^a (1-x)^b / (a B(a, b))`` is assembled in log
+    space, so deep-tail values keep full relative accuracy down to the
+    underflow limit of a double.
+    """
+    if a <= 0 or b <= 0:
+        raise AnalysisError(f"beta parameters must be positive, got a={a}, b={b}")
+    if not 0.0 <= x <= 1.0:
+        raise AnalysisError(f"x={x} outside [0, 1]")
+    if x == 0.0:
+        return 0.0
+    if x == 1.0:
+        return 1.0
+    log_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log1p(-x)
+    )
+    front = math.exp(log_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_continued_fraction(a, b, x) / a
+    return 1.0 - front * _beta_continued_fraction(b, a, 1.0 - x) / b
+
+
 def binomial_sf(k: int, n: int, p: float) -> float:
     """Upper tail ``P[X >= k]`` for ``X ~ Bin(n, p)``, evaluated stably.
 
-    Always sums the upper-tail PMF directly (exact compensated summation
-    of non-negative terms), never by complementing the lower tail — the
-    complement route loses all relative accuracy exactly where p-values
-    matter, in the deep tail. The O(n) cost is irrelevant at this
-    library's call rates (one test per experiment), and accuracy is
-    verified against scipy in the test suite.
+    Uses the closed-form identity ``P[X >= k] = I_p(k, n - k + 1)``
+    (regularized incomplete beta, DLMF 8.17.5) evaluated by a log-space
+    continued fraction, never by complementing a floating-point lower
+    tail — the complement route loses all relative accuracy exactly
+    where p-values matter, in the deep tail. Unlike direct summation of
+    the upper-tail PMF this is O(1) in ``n``, so p-values stay exact and
+    cheap at 100k+ matched pairs; accuracy is verified against scipy in
+    the test suite.
     """
     if n < 0:
         raise AnalysisError(f"n must be non-negative, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise AnalysisError(f"p={p} outside [0, 1]")
     if k <= 0:
         return 1.0
     if k > n:
         return 0.0
-    total = math.fsum(
-        math.exp(log_binomial_pmf(i, n, p)) for i in range(k, n + 1)
-    )
+    if p == 0.0:
+        return 0.0
+    if p == 1.0:
+        return 1.0
+    total = regularized_incomplete_beta(float(k), float(n - k + 1), p)
     return min(1.0, max(0.0, total))
 
 

@@ -1,0 +1,114 @@
+"""Per-stage wall/CPU timing for the analysis engine.
+
+Every analysis fragment of the report runs under a :class:`StageTimer`
+stage, whether it executes in the parent process or on a worker of the
+process pool. A :class:`StageTiming` is measured *inside* whichever
+process ran the stage, so its CPU time is the stage's own work, not the
+parent's idle wait. Timings are plain frozen dataclasses and therefore
+picklable — workers return them alongside their results.
+
+``repro report --profile`` renders the collected timings with
+:func:`format_profile`; the format is documented in
+``docs/METHODOLOGY.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+__all__ = ["StageTimer", "StageTiming", "format_profile", "measure_stage"]
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Wall-clock and CPU seconds one named stage took."""
+
+    name: str
+    wall_s: float
+    cpu_s: float
+
+
+class StageTimer:
+    """Collects :class:`StageTiming` records, in completion order.
+
+    Use :meth:`stage` around the work being measured, or :meth:`add` to
+    merge a timing measured elsewhere (e.g. returned by a pool worker).
+    """
+
+    def __init__(self) -> None:
+        self._timings: list[StageTiming] = []
+
+    @property
+    def timings(self) -> tuple[StageTiming, ...]:
+        return tuple(self._timings)
+
+    def add(self, timing: StageTiming) -> None:
+        self._timings.append(timing)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield
+        finally:
+            self.add(
+                StageTiming(
+                    name=name,
+                    wall_s=time.perf_counter() - wall0,
+                    cpu_s=time.process_time() - cpu0,
+                )
+            )
+
+    @property
+    def total_wall_s(self) -> float:
+        """Sum of per-stage wall seconds (CPU-seconds of work done;
+        under a process pool this exceeds the elapsed wall time)."""
+        return sum(t.wall_s for t in self._timings)
+
+    @property
+    def total_cpu_s(self) -> float:
+        return sum(t.cpu_s for t in self._timings)
+
+
+def measure_stage(name: str, func, *args, **kwargs):
+    """Run ``func`` and return ``(result, StageTiming)``.
+
+    The function-call twin of :meth:`StageTimer.stage`, for workers that
+    must ship the timing back instead of recording it locally.
+    """
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    result = func(*args, **kwargs)
+    timing = StageTiming(
+        name=name,
+        wall_s=time.perf_counter() - wall0,
+        cpu_s=time.process_time() - cpu0,
+    )
+    return result, timing
+
+
+def format_profile(
+    timings: Sequence[StageTiming], title: str = "analysis profile"
+) -> str:
+    """Render timings as an aligned table, slowest (by wall) first.
+
+    One row per stage — ``stage  wall(s)  cpu(s)`` — followed by a total
+    row summing both columns. Stage wall seconds are measured inside the
+    process that ran the stage, so under ``--jobs N`` the total can
+    exceed the elapsed time (it is the amount of work done, not the
+    time you waited).
+    """
+    lines = [title]
+    width = max([len(t.name) for t in timings], default=4)
+    for t in sorted(timings, key=lambda t: t.wall_s, reverse=True):
+        lines.append(f"  {t.name:<{width}}  wall {t.wall_s:8.3f} s  cpu {t.cpu_s:8.3f} s")
+    total_wall = sum(t.wall_s for t in timings)
+    total_cpu = sum(t.cpu_s for t in timings)
+    lines.append(
+        f"  {'total':<{width}}  wall {total_wall:8.3f} s  cpu {total_cpu:8.3f} s"
+    )
+    return "\n".join(lines)

@@ -5,6 +5,7 @@ import math
 import pytest
 
 from repro.analysis.common import (
+    CONFOUNDER_EXTRACTORS,
     binned_demand_curve,
     curve_correlation,
     demand_outcome,
@@ -12,6 +13,7 @@ from repro.analysis.common import (
     standard_confounders,
 )
 from repro.exceptions import AnalysisError
+from tests.datasets.test_records import make_record
 
 
 class TestDemandOutcome:
@@ -42,6 +44,66 @@ class TestStandardConfounders:
     def test_loss_floored(self, dasu_users):
         extractor = standard_confounders(["loss"])[0]
         assert all(extractor(u) > 0 for u in dasu_users[:50])
+
+
+class TestZeroValuedMarketConfounders:
+    """A 0.0 price (free/bundled plan) or 0.0 upgrade cost is a real
+    market condition, not a missing value; only None marks missing."""
+
+    def test_zero_price_is_not_missing(self):
+        user = make_record(price_of_access_usd=0.0)
+        assert CONFOUNDER_EXTRACTORS["price_of_access"](user) == 0.0
+
+    def test_zero_upgrade_cost_is_not_missing(self):
+        user = make_record(upgrade_cost_usd_per_mbps=0.0)
+        assert CONFOUNDER_EXTRACTORS["upgrade_cost"](user) == 0.0
+
+    def test_none_still_marks_missing(self):
+        user = make_record(
+            price_of_access_usd=None, upgrade_cost_usd_per_mbps=None
+        )
+        assert math.isnan(CONFOUNDER_EXTRACTORS["price_of_access"](user))
+        assert math.isnan(CONFOUNDER_EXTRACTORS["upgrade_cost"](user))
+
+    def test_free_plan_users_survive_matching(self):
+        # Two pools of identical free-plan users must pair up instead of
+        # being silently dropped as "missing a price".
+        control = [
+            make_record(user_id=f"c{i}", price_of_access_usd=0.0)
+            for i in range(4)
+        ]
+        treatment = [
+            make_record(user_id=f"t{i}", price_of_access_usd=0.0)
+            for i in range(4)
+        ]
+        result = matched_experiment(
+            "free plans",
+            control,
+            treatment,
+            confounders=("price_of_access",),
+            outcome=demand_outcome("peak", include_bt=False),
+        )
+        assert result.matching.n_control == 4
+        assert result.matching.n_treatment == 4
+        assert result.matching.n_matched == 4
+
+    def test_zero_cost_upgrades_survive_matching(self):
+        control = [
+            make_record(user_id=f"c{i}", upgrade_cost_usd_per_mbps=0.0)
+            for i in range(3)
+        ]
+        treatment = [
+            make_record(user_id=f"t{i}", upgrade_cost_usd_per_mbps=0.0)
+            for i in range(3)
+        ]
+        result = matched_experiment(
+            "zero-cost upgrades",
+            control,
+            treatment,
+            confounders=("upgrade_cost",),
+            outcome=demand_outcome("mean", include_bt=False),
+        )
+        assert result.matching.n_matched == 3
 
 
 class TestBinnedDemandCurve:

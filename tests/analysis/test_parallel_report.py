@@ -1,0 +1,72 @@
+"""Serial-vs-parallel equivalence of the analysis engine.
+
+The report's fragments run through the same process pool as the world
+builder; these tests pin the determinism guarantee — the rendered report
+is byte-identical for any ``jobs`` — and the profiling contract.
+"""
+
+import pytest
+
+from repro.analysis.paper_report import full_report, section_reports
+from repro.core.timing import StageTimer
+from repro.exceptions import ReproError
+
+
+@pytest.fixture(scope="module")
+def serial_report(small_world) -> str:
+    return full_report(
+        small_world.dasu.users, small_world.fcc.users, small_world.survey
+    )
+
+
+class TestParallelEquivalence:
+    def test_two_workers_byte_identical(self, small_world, serial_report):
+        parallel = full_report(
+            small_world.dasu.users,
+            small_world.fcc.users,
+            small_world.survey,
+            jobs=2,
+        )
+        assert parallel == serial_report
+
+    def test_without_optional_datasets(self, small_world):
+        serial = full_report(small_world.dasu.users)
+        parallel = full_report(small_world.dasu.users, jobs=2)
+        assert parallel == serial
+
+    def test_skipped_sections_identical_in_parallel(self, small_world):
+        # A US-only subset cannot run the India analyses; the skip
+        # marker (and its message) must not depend on the worker count.
+        us_only = [u for u in small_world.dasu.users if u.country == "US"]
+        serial = section_reports(us_only)
+        parallel = section_reports(us_only, jobs=2)
+        assert parallel == serial
+        assert any("skipped" in s for s in serial)
+
+    def test_invalid_jobs_rejected(self, small_world):
+        with pytest.raises(ReproError):
+            full_report(small_world.dasu.users, jobs=0)
+
+
+class TestProfiler:
+    def test_profiler_collects_every_fragment(self, small_world):
+        profiler = StageTimer()
+        full_report(
+            small_world.dasu.users,
+            small_world.fcc.users,
+            small_world.survey,
+            profiler=profiler,
+        )
+        names = [t.name for t in profiler.timings]
+        assert len(names) == len(set(names))
+        for key in ("fig1", "table1", "fig6", "table7", "fig12"):
+            assert key in names
+        assert all(t.wall_s >= 0.0 for t in profiler.timings)
+
+    def test_parallel_profile_covers_same_fragments(self, small_world):
+        serial, parallel = StageTimer(), StageTimer()
+        full_report(small_world.dasu.users, profiler=serial)
+        full_report(small_world.dasu.users, profiler=parallel, jobs=2)
+        assert [t.name for t in serial.timings] == [
+            t.name for t in parallel.timings
+        ]

@@ -1,7 +1,9 @@
 """Capacity classes and bin machinery."""
 
 import math
+from decimal import Decimal
 
+import numpy as np
 import pytest
 
 from repro.core import binning
@@ -27,6 +29,28 @@ class TestBin:
 
     def test_non_number_not_contained(self):
         assert "x" not in binning.Bin(1.0, 2.0)
+        assert None not in binning.Bin(1.0, 2.0)
+        assert complex(1.5, 0.0) not in binning.Bin(1.0, 2.0)
+
+    @pytest.mark.parametrize(
+        "value",
+        [np.float32(1.5), np.float64(1.5), np.int64(2), Decimal("1.5")],
+    )
+    def test_non_builtin_real_numbers_contained(self, value):
+        # Regression: the old isinstance(int, float) gate silently
+        # rejected numpy scalars and Decimal, dropping those users from
+        # BinSpec.group.
+        assert value in binning.Bin(1.0, 2.0)
+
+    @pytest.mark.parametrize(
+        "value", [np.float32(0.5), np.float64(2.5), Decimal("0.5")]
+    )
+    def test_non_builtin_reals_outside(self, value):
+        assert value not in binning.Bin(1.0, 2.0)
+
+    def test_nan_not_contained(self):
+        assert float("nan") not in binning.Bin(1.0, 2.0)
+        assert np.float64("nan") not in binning.Bin(1.0, 2.0)
 
     def test_empty_bin_rejected(self):
         with pytest.raises(BinningError):
@@ -81,6 +105,49 @@ class TestCapacityClass:
         spec = binning.capacity_class_spec(10)
         for left, right in zip(spec, list(spec)[1:]):
             assert left.high == right.low
+
+
+class TestCapacityClassBoundsConsistency:
+    """``capacity_class`` and ``capacity_class_bounds`` must agree at,
+    just below, and just above every class edge for classes 1..14."""
+
+    @pytest.mark.parametrize("k", range(1, 15))
+    def test_upper_edge_belongs_to_class_and_bin(self, k):
+        upper = binning.capacity_class_bounds(k).high
+        assert binning.capacity_class(upper) == k
+        assert upper in binning.capacity_class_bounds(k)
+
+    @pytest.mark.parametrize("k", range(1, 15))
+    def test_just_below_upper_edge_stays_in_class(self, k):
+        bounds = binning.capacity_class_bounds(k)
+        value = math.nextafter(bounds.high, 0.0)
+        assert binning.capacity_class(value) == k
+        assert value in bounds
+
+    @pytest.mark.parametrize("k", range(1, 15))
+    def test_just_above_upper_edge_is_next_class(self, k):
+        bounds = binning.capacity_class_bounds(k)
+        value = math.nextafter(bounds.high, math.inf)
+        assert binning.capacity_class(value) == k + 1
+        assert value not in bounds
+        assert value in binning.capacity_class_bounds(k + 1)
+
+    @pytest.mark.parametrize("k", range(2, 15))
+    def test_lower_edge_belongs_to_previous_class(self, k):
+        bounds = binning.capacity_class_bounds(k)
+        assert bounds.low not in bounds
+        assert binning.capacity_class(bounds.low) == k - 1
+
+    @pytest.mark.parametrize("k", range(1, 15))
+    def test_spec_agrees_with_scalar_classifier(self, k):
+        spec = binning.capacity_class_spec(15)
+        bounds = binning.capacity_class_bounds(k)
+        for value in (
+            math.nextafter(bounds.low, math.inf),
+            math.sqrt(bounds.low * bounds.high),
+            bounds.high,
+        ):
+            assert spec.index_of(value) == binning.capacity_class(value) - 1
 
 
 class TestBinSpec:

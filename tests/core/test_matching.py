@@ -145,3 +145,60 @@ class TestMatchPairs:
         treatment = [{"v": 1.0 + (i % 41) * 0.001} for i in range(300)]
         summary = matching.match_pairs(control, treatment, [by_value])
         assert summary.n_matched == 300
+
+
+def _five_confounder_pools(n=40):
+    keys = ("a", "b", "c", "d", "e")
+    control = [
+        {k: 1.0 + ((i * 7 + j) % 11) * 0.01 for j, k in enumerate(keys)}
+        for i in range(n)
+    ]
+    treatment = [
+        {k: 1.0 + ((i * 5 + j) % 13) * 0.01 for j, k in enumerate(keys)}
+        for i in range(n)
+    ]
+    extractors = [lambda u, k=k: u[k] for k in keys]
+    return control, treatment, extractors
+
+
+class TestCandidateChunkRows:
+    def test_block_respects_cell_budget_with_five_confounders(self):
+        # The candidate block materializes chunk * treatment * confounder
+        # float64 cells; the heuristic must bound that product, not just
+        # the first two dimensions.
+        n_treatment, n_confounders = 3_000, 5
+        chunk = matching.candidate_chunk_rows(n_treatment, n_confounders)
+        assert chunk >= 1
+        assert (
+            chunk * n_treatment * n_confounders
+            <= matching.CANDIDATE_CELL_BUDGET
+        )
+
+    def test_bound_holds_across_pool_shapes(self):
+        for n_treatment in (1, 100, 10_000, 1_000_000):
+            for n_confounders in (1, 2, 5):
+                chunk = matching.candidate_chunk_rows(n_treatment, n_confounders)
+                if chunk > 1:
+                    assert (
+                        chunk * n_treatment * n_confounders
+                        <= matching.CANDIDATE_CELL_BUDGET
+                    )
+
+    def test_scales_inversely_with_confounder_count(self):
+        assert matching.candidate_chunk_rows(1_000, 5) == (
+            matching.CANDIDATE_CELL_BUDGET // (1_000 * 5)
+        )
+
+    def test_floor_of_one_row(self):
+        assert matching.candidate_chunk_rows(10**9, 5) == 1
+
+    def test_chunked_five_confounder_matching_equivalent(self, monkeypatch):
+        control, treatment, extractors = _five_confounder_pools()
+        baseline = matching.match_pairs(control, treatment, extractors)
+        monkeypatch.setattr(
+            matching, "candidate_chunk_rows", lambda *args, **kwargs: 3
+        )
+        chunked = matching.match_pairs(control, treatment, extractors)
+        assert [
+            (p.control, p.treatment, p.distance) for p in chunked.pairs
+        ] == [(p.control, p.treatment, p.distance) for p in baseline.pairs]

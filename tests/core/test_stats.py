@@ -4,6 +4,7 @@ import math
 
 import numpy as np
 import pytest
+import scipy.special
 import scipy.stats
 
 from repro.core import stats
@@ -56,6 +57,75 @@ class TestBinomialSf:
     def test_negative_n_rejected(self):
         with pytest.raises(AnalysisError):
             stats.binomial_sf(1, -1, 0.5)
+
+
+class TestRegularizedIncompleteBeta:
+    @pytest.mark.parametrize(
+        "a,b,x",
+        [(1.0, 1.0, 0.3), (2.5, 3.5, 0.7), (50.0, 2.0, 0.9),
+         (500.0, 500.0, 0.5), (10.0, 90.0, 0.05)],
+    )
+    def test_matches_scipy_betainc(self, a, b, x):
+        expected = scipy.special.betainc(a, b, x)
+        assert stats.regularized_incomplete_beta(a, b, x) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_boundaries(self):
+        assert stats.regularized_incomplete_beta(2.0, 3.0, 0.0) == 0.0
+        assert stats.regularized_incomplete_beta(2.0, 3.0, 1.0) == 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(AnalysisError):
+            stats.regularized_incomplete_beta(0.0, 1.0, 0.5)
+        with pytest.raises(AnalysisError):
+            stats.regularized_incomplete_beta(1.0, 1.0, 1.5)
+
+
+class TestBinomialSfLargeN:
+    """Continued-fraction tail vs scipy.stats.binomtest, deep tail included.
+
+    The log-space incomplete-beta evaluation is O(1) in n, so exactness
+    must hold where the old O(n) summation was slowest: n of 100k+.
+    """
+
+    @pytest.mark.parametrize(
+        "k,n",
+        [
+            # n = 10: every tail depth is reachable directly.
+            (6, 10), (9, 10), (10, 10),
+            # n = 1 000: moderate and deep tail (p ~ 1e-3 ... 1e-89).
+            (530, 1_000), (600, 1_000), (650, 1_000),
+            # n = 100 000: the target scale; k = 51 000 is p ~ 1e-10,
+            # k = 52 500 is p ~ 1e-56.
+            (50_100, 100_000), (51_000, 100_000), (52_500, 100_000),
+        ],
+    )
+    def test_matches_scipy_binomtest(self, k, n):
+        expected = scipy.stats.binomtest(k, n, 0.5, alternative="greater")
+        assert stats.binomial_sf(k, n, 0.5) == pytest.approx(
+            expected.pvalue, rel=1e-8
+        )
+
+    def test_underflowed_deep_tail_is_zero(self):
+        # P[X >= 60 000] for Bin(100 000, 0.5) is ~1e-876: below the
+        # smallest double, exactly like scipy reports it.
+        assert stats.binomial_sf(60_000, 100_000, 0.5) == 0.0
+        assert scipy.stats.binom.sf(59_999, 100_000, 0.5) == 0.0
+
+    def test_biased_null_probability(self):
+        expected = scipy.stats.binomtest(400, 1_000, 0.3, alternative="greater")
+        assert stats.binomial_sf(400, 1_000, 0.3) == pytest.approx(
+            expected.pvalue, rel=1e-10
+        )
+
+    def test_degenerate_p(self):
+        assert stats.binomial_sf(1, 100_000, 0.0) == 0.0
+        assert stats.binomial_sf(100_000, 100_000, 1.0) == 1.0
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(AnalysisError):
+            stats.binomial_sf(5, 10, 1.5)
 
 
 class TestBinomialTestGreater:

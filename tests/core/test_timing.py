@@ -1,0 +1,74 @@
+"""Per-stage timing layer."""
+
+import pickle
+import time
+
+from repro.core.timing import StageTimer, StageTiming, format_profile, measure_stage
+
+
+class TestStageTimer:
+    def test_stage_records_name_and_duration(self):
+        timer = StageTimer()
+        with timer.stage("work"):
+            time.sleep(0.01)
+        assert len(timer.timings) == 1
+        timing = timer.timings[0]
+        assert timing.name == "work"
+        assert timing.wall_s >= 0.01
+        assert timing.cpu_s >= 0.0
+
+    def test_stage_records_on_exception(self):
+        timer = StageTimer()
+        try:
+            with timer.stage("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert [t.name for t in timer.timings] == ["boom"]
+
+    def test_add_merges_external_timing(self):
+        timer = StageTimer()
+        timer.add(StageTiming("remote", 1.5, 1.0))
+        assert timer.total_wall_s == 1.5
+        assert timer.total_cpu_s == 1.0
+
+    def test_stages_kept_in_completion_order(self):
+        timer = StageTimer()
+        with timer.stage("a"):
+            pass
+        with timer.stage("b"):
+            pass
+        assert [t.name for t in timer.timings] == ["a", "b"]
+
+
+class TestMeasureStage:
+    def test_returns_result_and_timing(self):
+        result, timing = measure_stage("double", lambda x: 2 * x, 21)
+        assert result == 42
+        assert timing.name == "double"
+        assert timing.wall_s >= 0.0
+
+    def test_timing_is_picklable(self):
+        # Workers ship timings back through the process pool.
+        _, timing = measure_stage("t", lambda: None)
+        assert pickle.loads(pickle.dumps(timing)) == timing
+
+
+class TestFormatProfile:
+    def test_sorted_by_wall_descending_with_total(self):
+        text = format_profile(
+            [StageTiming("fast", 0.1, 0.1), StageTiming("slow", 2.0, 1.5)]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "analysis profile"
+        assert "slow" in lines[1]
+        assert "fast" in lines[2]
+        assert "total" in lines[-1]
+        assert "2.100" in lines[-1]  # summed wall seconds
+
+    def test_custom_title(self):
+        text = format_profile([StageTiming("s", 0.0, 0.0)], title="report stages")
+        assert text.splitlines()[0] == "report stages"
+
+    def test_empty_profile_still_renders_total(self):
+        assert "total" in format_profile([])

@@ -139,3 +139,32 @@ class TestReport:
         rc = main(["report", "--data", str(data_dir), "--out", str(target)])
         assert rc == 0
         assert "Reproduction report" in target.read_text()
+
+    def test_parallel_report_byte_identical(self, data_dir, tmp_path):
+        serial, parallel = tmp_path / "j1.txt", tmp_path / "j2.txt"
+        assert main(
+            ["report", "--data", str(data_dir), "--out", str(serial)]
+        ) == 0
+        assert main(
+            ["report", "--data", str(data_dir), "--out", str(parallel),
+             "--jobs", "2"]
+        ) == 0
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_profile_goes_to_stderr_only(self, data_dir, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        rc = main(
+            ["report", "--data", str(data_dir), "--out", str(target),
+             "--profile"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "analysis profile" in captured.err
+        assert "wall" in captured.err and "cpu" in captured.err
+        assert "analysis profile" not in captured.out
+        assert "analysis profile" not in target.read_text()
+
+    def test_profile_off_by_default(self, data_dir, capsys):
+        rc = main(["report", "--data", str(data_dir)])
+        assert rc == 0
+        assert capsys.readouterr().err == ""
