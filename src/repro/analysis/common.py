@@ -82,9 +82,17 @@ def standard_confounders(names: Sequence[str]) -> list[Callable[[UserRecord], fl
 
 
 def _has_confounders(user: UserRecord, names: Sequence[str]) -> bool:
+    """Whether every matching confounder is present *and usable*.
+
+    Missing market covariates surface as NaN (see :func:`_market_value`);
+    datasets that skipped the sanitization stage can additionally carry
+    non-finite measurement values. Either way the user cannot be placed
+    in the matching space, so eligibility requires finiteness, not just
+    non-NaN — identical on clean data, where every value is finite.
+    """
     for name in names:
         value = CONFOUNDER_EXTRACTORS[name](user)
-        if math.isnan(value):
+        if not math.isfinite(value):
             return False
     return True
 
@@ -114,10 +122,17 @@ def matched_experiment(
 
     Users missing any confounder (e.g. no market upgrade-cost estimate)
     are excluded before matching, as the paper excludes users it cannot
-    place in a market.
+    place in a market; so are users whose outcome is non-finite (only
+    possible for un-sanitized dirty datasets).
     """
-    eligible_control = [u for u in control if _has_confounders(u, confounders)]
-    eligible_treatment = [u for u in treatment if _has_confounders(u, confounders)]
+
+    def _eligible(user: UserRecord) -> bool:
+        return _has_confounders(user, confounders) and math.isfinite(
+            outcome(user)
+        )
+
+    eligible_control = [u for u in control if _eligible(u)]
+    eligible_treatment = [u for u in treatment if _eligible(u)]
     matching = match_pairs(
         eligible_control,
         eligible_treatment,
@@ -181,7 +196,11 @@ def binned_demand_curve(
     grouped = spec.group((u.capacity_down_mbps, u) for u in users)
     points = []
     for bin_ in spec:
-        members = grouped.get(bin_, [])
+        # Non-finite demand can only come from un-sanitized dirty data;
+        # on clean datasets this filter keeps every member.
+        members = [
+            u for u in grouped.get(bin_, []) if math.isfinite(outcome(u))
+        ]
         if len(members) < min_users:
             continue
         values = [outcome(u) for u in members]

@@ -3,6 +3,7 @@
 Four subcommands cover the study lifecycle::
 
     python -m repro build   --out DIR [--seed N --users N --fcc N --days D]
+                            [--faults PROFILE --sanitize]
                             [--jobs N --no-cache --cache-dir DIR]
     python -m repro analyze --data DIR --experiment NAME
     python -m repro report  [--data DIR | --seed N --users N ...] [--out FILE]
@@ -22,11 +23,20 @@ the build entirely. ``--no-cache`` forces a fresh build; ``--jobs N``
 shards both the build and the report's analysis fragments across N
 worker processes with byte-identical output; ``report --profile``
 prints per-fragment wall/CPU timings to stderr.
+
+``--faults {off,light,default,heavy}`` injects seeded measurement
+pathologies (host churn, dropped/duplicated samples, counter
+resets/wraps, failed NDT runs, clock skew, gateway gaps — see
+:mod:`repro.faults`) and ``--sanitize`` runs the paper's data-cleaning
+rules over the dirty collections (:mod:`repro.datasets.sanitize`),
+printing the per-rule sanitization report. Both default off, in which
+case output is byte-identical to builds that predate the flags.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -38,6 +48,7 @@ from .core.executor import resolve_jobs
 from .core.timing import StageTimer, format_profile
 from .datasets import WorldConfig, build_world
 from .datasets.cache import WorldCache, cache_key
+from .faults import FAULT_PROFILES, fault_profile
 from .datasets.io import (
     read_survey_csv,
     read_users_csv,
@@ -64,6 +75,8 @@ def _world_config(args: argparse.Namespace) -> WorldConfig:
         n_dasu_users=args.users,
         n_fcc_users=args.fcc,
         days_per_year=args.days,
+        faults=fault_profile(getattr(args, "faults", "off")),
+        sanitize=bool(getattr(args, "sanitize", False)),
     )
 
 
@@ -85,6 +98,13 @@ def _build(args: argparse.Namespace) -> int:
     n_users = write_users_csv(world.all_users, out / "users.csv")
     n_plans = write_survey_csv(world.survey, out / "survey.csv")
     write_config_json(config, out / "config.json")
+    if world.sanitization is not None:
+        (out / "sanitization.json").write_text(
+            json.dumps(
+                world.sanitization.to_payload(), indent=2, sort_keys=True
+            )
+        )
+        print(world.sanitization.format())
     print(f"wrote {n_users} user-period rows, {n_plans} plan rows to {out}")
     if not args.no_cache:
         entry = cache.store(world)
@@ -277,6 +297,11 @@ def _report(args: argparse.Namespace) -> int:
             if not args.no_cache:
                 cache.store(world)
         dasu, fcc, survey = world.dasu.users, world.fcc.users, world.survey
+        if world.sanitization is not None and args.profile:
+            # Diagnostics channel: like the timing profile, the
+            # sanitization accounting goes to stderr so the report
+            # itself stays byte-identical and pipeable.
+            print(world.sanitization.format(), file=sys.stderr)
     profiler = StageTimer() if args.profile else None
     text = full_report(dasu, fcc, survey, jobs=jobs, profiler=profiler)
     if args.out:
@@ -320,6 +345,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="FCC gateways to simulate")
         p.add_argument("--days", type=float, default=1.5,
                        help="observed days per user per year")
+        p.add_argument("--faults", default="off",
+                       choices=("off", *FAULT_PROFILES),
+                       help="inject seeded measurement faults at this "
+                            "severity (default: off, byte-identical to "
+                            "pre-fault-injection builds)")
+        p.add_argument("--sanitize", action="store_true",
+                       help="run the paper's data-cleaning rules while "
+                            "building and report per-rule counts")
 
     def add_cache_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", type=int, default=1,

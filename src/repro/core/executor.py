@@ -23,9 +23,11 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+import numpy as np
+
 from ..exceptions import ReproError
 
-__all__ = ["resolve_jobs", "run_sharded"]
+__all__ = ["resolve_jobs", "run_sharded", "stream_rng"]
 
 _TaskT = TypeVar("_TaskT")
 _ResultT = TypeVar("_ResultT")
@@ -43,6 +45,19 @@ def resolve_jobs(jobs: int | None) -> int:
             "(use 1 for a serial build)"
         )
     return int(jobs)
+
+
+def stream_rng(*path: int) -> np.random.Generator:
+    """An independent generator for one node of a seed tree.
+
+    ``path`` is the node's address — e.g. ``(seed, stream, country,
+    user)`` for a household's generative draws, or the same address
+    prefixed differently for its fault stream. Streams at distinct
+    addresses are statistically independent (``SeedSequence`` spawning),
+    which is what makes sharded runs bit-identical to serial ones: no
+    task's draws depend on any other task having run.
+    """
+    return np.random.default_rng(np.random.SeedSequence(list(path)))
 
 
 def run_sharded(

@@ -289,7 +289,9 @@ def pearson_r(x: Sequence[float] | np.ndarray, y: Sequence[float] | np.ndarray) 
     denom = math.sqrt(float(xd @ xd) * float(yd @ yd))
     if denom == 0.0:
         return math.nan
-    return float(xd @ yd) / denom
+    # When one variable's variance underflows to a subnormal, the
+    # division can stray outside the mathematical range; clamp.
+    return float(min(1.0, max(-1.0, float(xd @ yd) / denom)))
 
 
 def _ranks(values: np.ndarray) -> np.ndarray:

@@ -7,6 +7,8 @@
   populations, traffic, measurement clients, record assembly;
 * :mod:`repro.datasets.io` — CSV/JSON persistence for the generated
   datasets;
+* :mod:`repro.datasets.sanitize` — the hardened ingest/cleaning stage
+  (the paper's data-cleaning rules, with per-rule accounting);
 * :mod:`repro.datasets.cache` — on-disk build cache keyed by
   configuration and code version.
 """
@@ -14,6 +16,7 @@
 from .builder import build_world
 from .cache import WorldCache, build_or_load_world, cache_key
 from .records import PeriodObservation, UserRecord, period_year
+from .sanitize import SanitizationReport, ingest_users, sanitize_users
 from .traces import UsageTrace, read_traces_npz, write_traces_npz
 from .world import DasuDataset, FccDataset, World, WorldConfig
 
@@ -21,6 +24,7 @@ __all__ = [
     "DasuDataset",
     "FccDataset",
     "PeriodObservation",
+    "SanitizationReport",
     "UsageTrace",
     "UserRecord",
     "World",
@@ -29,7 +33,9 @@ __all__ = [
     "build_or_load_world",
     "build_world",
     "cache_key",
+    "ingest_users",
     "period_year",
     "read_traces_npz",
+    "sanitize_users",
     "write_traces_npz",
 ]

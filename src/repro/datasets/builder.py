@@ -31,10 +31,11 @@ from ..behavior.choice import ChoiceModel
 from ..behavior.demand import DemandProcess
 from ..behavior.population import LatentUser, PopulationModel
 from ..behavior.upgrades import UpgradePolicy
-from ..core.executor import resolve_jobs, run_sharded
+from ..core.executor import resolve_jobs, run_sharded, stream_rng
 from ..core.metrics import demand_summary
 from ..core.upgrades import NetworkId, ServicePeriod
 from ..exceptions import DatasetError
+from ..faults.injector import FaultInjector
 from ..market.countries import CountryProfile, build_profiles
 from ..market.market import CountryMarket
 from ..market.plans import BroadbandPlan
@@ -49,6 +50,12 @@ from ..network.path import NetworkPath, build_path
 from ..network.technology import sample_technology
 from ..traffic.generator import generate_usage_series
 from .records import PeriodObservation, UserRecord, hourly_profile
+from .sanitize import (
+    SanitizationReport,
+    sanitize_samples,
+    sanitize_users,
+    strip_sentinels,
+)
 from .traces import UsageTrace
 from .world import DasuDataset, FccDataset, World, WorldConfig
 
@@ -67,6 +74,12 @@ _MARKET_STREAM = 1
 _DASU_STREAM = 2
 _FCC_STREAM = 3
 _CITY_STREAM = 4
+#: Prefix tag of the per-household *fault* streams. Faults draw from
+#: ``SeedSequence([seed, _FAULT_STREAM, source_stream, country, user])``
+#: — a different tree node than the household's generative stream — so
+#: enabling injection never perturbs the clean draws, and a zero-rate
+#: injector is byte-identical to no injector.
+_FAULT_STREAM = 5
 
 #: Households simulated per sharded task. Small enough to balance load
 #: across workers, large enough to amortize task dispatch; the result is
@@ -78,9 +91,14 @@ def _user_rng(
     seed: int, stream: int, country_index: int, user_index: int
 ) -> np.random.Generator:
     """The independent random stream owned by one household."""
-    return np.random.default_rng(
-        np.random.SeedSequence([seed, stream, country_index, user_index])
-    )
+    return stream_rng(seed, stream, country_index, user_index)
+
+
+def _fault_rng(
+    seed: int, stream: int, country_index: int, user_index: int
+) -> np.random.Generator:
+    """The household's *fault* stream, disjoint from its clean draws."""
+    return stream_rng(seed, _FAULT_STREAM, stream, country_index, user_index)
 
 
 def _allocate_counts(weights: np.ndarray, total: int) -> np.ndarray:
@@ -119,6 +137,8 @@ class _CountrySimulator:
         rng: np.random.Generator,
         source: str,
         cities: tuple[str, ...] | None = None,
+        injector: FaultInjector | None = None,
+        report: SanitizationReport | None = None,
     ) -> None:
         self.profile = profile
         self.market = market
@@ -126,6 +146,12 @@ class _CountrySimulator:
         self.rng = rng
         self.source = source
         self.cities = cities
+        #: Fault injector fed by this household's dedicated fault stream
+        #: (``None`` for a pristine substrate).
+        self.injector = injector
+        #: Sample-level sanitization accounting, shared across the chunk
+        #: (``None`` unless ``config.sanitize``).
+        self.report = report
         self.isps = tuple(sorted({p.isp for p in market.plans}))
         self.population = PopulationModel()
         self.choice_model = ChoiceModel()
@@ -270,10 +296,56 @@ class _CountrySimulator:
                     )
             return None
         gateway = FccGateway(self.rng)
-        hourly, hours = gateway.hourly_rates_with_hours(series)
-        up_hourly = gateway.hourly_upload_rates(series)
+        hourly, hours, up_hourly = gateway.collect(series)
         # Gateways see bytes, not applications: no BitTorrent visibility.
         return hourly, np.zeros(hourly.size, dtype=bool), hours, up_hourly
+
+    def _damage_and_clean(
+        self,
+        rates: np.ndarray,
+        bt_flags: np.ndarray,
+        hours: np.ndarray,
+        up_rates: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+        """Fault injection then sample-level sanitization, in that order.
+
+        With neither configured this is the identity, so clean worlds
+        take byte-identical paths to pre-fault-injection builds. With
+        faults but no sanitization, reset sentinels are still stripped
+        (without repair accounting): a ``-1`` rate must never reach
+        :func:`~repro.core.metrics.demand_summary`.
+        """
+        if self.injector is not None:
+            if self.source == "dasu":
+                rates, bt_flags, hours, up_rates = (
+                    self.injector.perturb_dasu_samples(
+                        rates, bt_flags, hours, up_rates,
+                        interval_s=self.config.sample_interval_s,
+                    )
+                )
+            else:
+                rates, bt_flags, hours, up_rates = (
+                    self.injector.perturb_gateway_samples(
+                        rates, bt_flags, hours, up_rates
+                    )
+                )
+        if self.config.sanitize:
+            rates, bt_flags, hours, up_rates = sanitize_samples(
+                rates, bt_flags, hours, up_rates,
+                # Only the Dasu path reads 32-bit counters; gateway
+                # records aggregate 64-bit counters and cannot wrap.
+                counter_interval_s=(
+                    self.config.sample_interval_s
+                    if self.source == "dasu"
+                    else None
+                ),
+                report=self.report,
+            )
+        elif self.injector is not None:
+            rates, bt_flags, hours, up_rates = strip_sentinels(
+                rates, bt_flags, hours, up_rates
+            )
+        return rates, bt_flags, hours, up_rates
 
     def _observe_year(
         self,
@@ -301,7 +373,10 @@ class _CountrySimulator:
         collected = self._collect_usage(series)
         if collected is None:
             return None
-        rates, bt_flags, hours, up_rates = collected
+        rates, bt_flags, hours, up_rates = self._damage_and_clean(*collected)
+        if rates.size == 0:
+            # Injection (drops, gaps, resets) can gut a period entirely.
+            return None
         with_bt = demand_summary(rates)
         no_bt_rates = rates[~bt_flags]
         no_bt = demand_summary(no_bt_rates) if no_bt_rates.size else with_bt
@@ -317,6 +392,11 @@ class _CountrySimulator:
             (start_day, end_day),
             typical_cross_traffic_mbps=with_bt.mean_mbps,
         )
+        if self.injector is not None:
+            tests = self.injector.perturb_ndt(tests)
+            if not tests:
+                # Every run failed: no capacity estimate, no period.
+                return None
         capacity = max(t.download_mbps for t in tests)
         capacity_up = max(t.upload_mbps for t in tests)
         latency = float(np.mean([t.rtt_ms for t in tests]))
@@ -393,6 +473,9 @@ class _CountrySimulator:
     def simulate_user(
         self, user_id: str
     ) -> tuple[UserRecord, LatentUser, tuple[UsageTrace, ...]] | None:
+        if self.injector is not None and self.injector.household_lost():
+            # Churn: the household vanished before producing any data.
+            return None
         planner = NetworkPlanner(
             self.profile.name,
             self.isps,
@@ -414,6 +497,10 @@ class _CountrySimulator:
         path = self._path_for(link, previous=None)
         network = planner.home_network(plan.isp)
         entry_year, exit_year = self._observed_year_range()
+        if self.injector is not None:
+            entry_year, exit_year = self.injector.perturb_panel(
+                entry_year, exit_year
+            )
 
         # Demand growth is a single episode (see PopulationModel): pick
         # the year after which the grower's need jumps.
@@ -473,7 +560,10 @@ class _CountrySimulator:
         if self.rng.random() < self.config.web_probe_fraction:
             web_latency = self.web_prober.median_latency_ms(path)
             followup = self.ndt.run_tests(path, 4, (0.0, 30.0))
-            ndt_2014 = float(np.mean([t.rtt_ms for t in followup]))
+            if self.injector is not None:
+                followup = self.injector.perturb_ndt(followup)
+            if followup:
+                ndt_2014 = float(np.mean([t.rtt_ms for t in followup]))
 
         vantage = "gateway"
         if self.source == "dasu":
@@ -582,30 +672,47 @@ def _plan_chunks(
     return specs
 
 
-_ChunkResult = list[tuple[UserRecord, LatentUser, tuple[UsageTrace, ...]]]
+_ChunkUsers = list[tuple[UserRecord, LatentUser, tuple[UsageTrace, ...]]]
+_ChunkResult = tuple[_ChunkUsers, "SanitizationReport | None"]
 
 
 def _simulate_chunk(context: _BuildContext, spec: _ChunkSpec) -> _ChunkResult:
     """Simulate one chunk of households; shared by serial and parallel
-    paths, so the two are equivalent by construction."""
+    paths, so the two are equivalent by construction.
+
+    Returns the chunk's surviving users plus its share of the
+    sample-level sanitization accounting (``None`` unless
+    ``config.sanitize``); counters are merged across chunks by addition,
+    so the totals are identical for every chunking.
+    """
     config = context.config
     profile = context.profile_map[spec.country]
     market = context.survey.market(spec.country)
     cities = context.cities_for(spec.stream, spec.country_index)
-    results: _ChunkResult = []
+    report = SanitizationReport() if config.sanitize else None
+    results: _ChunkUsers = []
     for user_index in range(spec.start, spec.start + spec.count):
         rng = _user_rng(
             config.seed, spec.stream, spec.country_index, user_index
         )
+        injector = None
+        if config.faults is not None:
+            injector = FaultInjector(
+                config.faults,
+                _fault_rng(
+                    config.seed, spec.stream, spec.country_index, user_index
+                ),
+            )
         simulator = _CountrySimulator(
-            profile, market, config, rng, source=spec.source, cities=cities
+            profile, market, config, rng, source=spec.source, cities=cities,
+            injector=injector, report=report,
         )
         outcome = simulator.simulate_user(
             f"{spec.source}-{spec.country}-{user_index:05d}"
         )
         if outcome is not None:
             results.append(outcome)
-    return results
+    return results, report
 
 
 #: Per-process build context for pool workers (set by ``_worker_init``).
@@ -658,13 +765,35 @@ def build_world(
     fcc_users: list[UserRecord] = []
     ground_truth: dict[str, LatentUser] = {}
     traces: dict[str, tuple[UsageTrace, ...]] = {}
-    for spec, results in zip(specs, chunk_results):
+    report = SanitizationReport() if config.sanitize else None
+    for spec, (results, chunk_report) in zip(specs, chunk_results):
+        if report is not None and chunk_report is not None:
+            report.merge(chunk_report)
         bucket = dasu_users if spec.source == "dasu" else fcc_users
         for record, latent, user_traces in results:
             bucket.append(record)
             ground_truth[record.user_id] = latent
             if user_traces:
                 traces[record.user_id] = user_traces
+
+    if report is not None:
+        # Record-level cleaning pass (period dedup, NDT-failure and
+        # invalid-value exclusion, minimum observed days per host).
+        dasu_users, report = sanitize_users(
+            dasu_users,
+            dasu_interval_s=config.sample_interval_s,
+            report=report,
+        )
+        fcc_users, report = sanitize_users(
+            fcc_users,
+            dasu_interval_s=config.sample_interval_s,
+            report=report,
+        )
+        kept = {u.user_id for u in dasu_users} | {
+            u.user_id for u in fcc_users
+        }
+        ground_truth = {k: v for k, v in ground_truth.items() if k in kept}
+        traces = {k: v for k, v in traces.items() if k in kept}
 
     return World(
         config=config,
@@ -674,4 +803,5 @@ def build_world(
         fcc=FccDataset(users=tuple(fcc_users)),
         ground_truth=ground_truth,
         traces=traces,
+        sanitization=report,
     )

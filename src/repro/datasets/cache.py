@@ -24,7 +24,6 @@ indistinguishable for every figure, table, and report.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import os
@@ -40,6 +39,7 @@ from ..market.countries import build_profiles
 from ..market.survey import PlanSurvey
 from .builder import build_world
 from .io import (
+    config_payload,
     read_config_json,
     read_survey_csv,
     read_users_csv,
@@ -48,6 +48,7 @@ from .io import (
     write_users_csv,
 )
 from .records import UserRecord
+from .sanitize import SanitizationReport
 from .world import DasuDataset, FccDataset, World, WorldConfig
 
 __all__ = [
@@ -61,11 +62,19 @@ __all__ = [
 CACHE_FORMAT_VERSION = 1
 
 _ENTRY_FILES = ("users.csv", "survey.csv", "config.json")
+#: Present only in entries built with ``config.sanitize`` enabled.
+_REPORT_FILE = "sanitization.json"
 
 
 def cache_key(config: WorldConfig) -> str:
-    """Content hash of every world knob plus the generator version."""
-    payload = dataclasses.asdict(config)
+    """Content hash of every world knob plus the generator version.
+
+    Built over :func:`~repro.datasets.io.config_payload`, which omits
+    ``faults``/``sanitize`` when they sit at their defaults — so keys of
+    fault-free configurations are unchanged from before fault injection
+    existed, and warm caches survive the upgrade.
+    """
+    payload = config_payload(config)
     payload["__package_version__"] = __version__
     payload["__cache_format__"] = CACHE_FORMAT_VERSION
     blob = json.dumps(payload, sort_keys=True, default=str)
@@ -81,7 +90,10 @@ def default_cache_root() -> Path:
 
 
 def _world_from_records(
-    config: WorldConfig, users: list[UserRecord], survey: PlanSurvey
+    config: WorldConfig,
+    users: list[UserRecord],
+    survey: PlanSurvey,
+    sanitization: SanitizationReport | None = None,
 ) -> World:
     """Reassemble a records-only :class:`World` from persisted datasets."""
     profiles = build_profiles(
@@ -98,6 +110,7 @@ def _world_from_records(
         fcc=FccDataset(users=tuple(u for u in users if u.source == "fcc")),
         ground_truth={},
         traces={},
+        sanitization=sanitization,
     )
 
 
@@ -130,10 +143,15 @@ class WorldCache:
                 return None
             users = read_users_csv(entry / "users.csv")
             survey = read_survey_csv(entry / "survey.csv")
+            report = None
+            if config.sanitize:
+                report = SanitizationReport.from_payload(
+                    json.loads((entry / _REPORT_FILE).read_text())
+                )
         except (ReproError, OSError, ValueError, KeyError, TypeError):
             # Unreadable, truncated, or schema-mismatched entry: a miss.
             return None
-        return _world_from_records(config, users, survey)
+        return _world_from_records(config, users, survey, report)
 
     def fetch_into(self, config: WorldConfig, out_dir: str | Path) -> bool:
         """Copy a validated entry's raw files into ``out_dir``.
@@ -146,7 +164,8 @@ class WorldCache:
         out = Path(out_dir)
         out.mkdir(parents=True, exist_ok=True)
         entry = self.entry_dir(config)
-        for name in _ENTRY_FILES:
+        names = _ENTRY_FILES + ((_REPORT_FILE,) if config.sanitize else ())
+        for name in names:
             shutil.copyfile(entry / name, out / name)
         return True
 
@@ -165,6 +184,14 @@ class WorldCache:
             write_users_csv(world.all_users, staging / "users.csv")
             write_survey_csv(world.survey, staging / "survey.csv")
             write_config_json(world.config, staging / "config.json")
+            if world.sanitization is not None:
+                (staging / _REPORT_FILE).write_text(
+                    json.dumps(
+                        world.sanitization.to_payload(),
+                        indent=2,
+                        sort_keys=True,
+                    )
+                )
             entry = self.entry_dir(world.config)
             if entry.exists():
                 shutil.rmtree(entry)

@@ -28,6 +28,7 @@ from .records import PeriodObservation, UserRecord
 from .world import WorldConfig
 
 __all__ = [
+    "config_payload",
     "read_config_json",
     "read_survey_csv",
     "read_users_csv",
@@ -110,32 +111,40 @@ def write_users_csv(users: Sequence[UserRecord], path: str | Path) -> int:
     return n_rows
 
 
-def read_users_csv(path: str | Path) -> list[UserRecord]:
-    """Read user records written by :func:`write_users_csv`."""
+def read_users_csv(
+    path: str | Path, errors: list[str] | None = None
+) -> list[UserRecord]:
+    """Read user records written by :func:`write_users_csv`.
+
+    Strict by default: any malformed row raises. Pass an ``errors`` list
+    to read leniently instead — rows (or whole users) that fail to parse
+    or validate are skipped and one message per casualty is appended to
+    the list. The lenient path is what
+    :func:`repro.datasets.sanitize.ingest_users` builds on for datasets
+    of unknown hygiene.
+    """
     path = Path(path)
+    lenient = errors is not None
     grouped: dict[str, dict] = {}
     with path.open(newline="") as handle:
         reader = csv.DictReader(handle)
         expected = set(_USER_FIELDS + _PERIOD_FIELDS)
         if reader.fieldnames is None or set(reader.fieldnames) != expected:
             raise DatasetError(f"{path}: unexpected columns")
-        for row in reader:
-            entry = grouped.setdefault(
-                row["user_id"], {"row": row, "observations": []}
-            )
-            period = ServicePeriod(
-                user_id=row["user_id"],
-                network=NetworkId(row["isp"], row["prefix"], row["city"]),
-                start_day=float(row["start_day"]),
-                end_day=float(row["end_day"]),
-                capacity_mbps=float(row["capacity_mbps"]),
-                mean_mbps=float(row["mean_mbps"]),
-                peak_mbps=float(row["peak_mbps"]),
-                mean_no_bt_mbps=float(row["mean_no_bt_mbps"]),
-                peak_no_bt_mbps=float(row["peak_no_bt_mbps"]),
-            )
-            entry["observations"].append(
-                PeriodObservation(
+        for line, row in enumerate(reader, start=2):
+            try:
+                period = ServicePeriod(
+                    user_id=row["user_id"],
+                    network=NetworkId(row["isp"], row["prefix"], row["city"]),
+                    start_day=float(row["start_day"]),
+                    end_day=float(row["end_day"]),
+                    capacity_mbps=float(row["capacity_mbps"]),
+                    mean_mbps=float(row["mean_mbps"]),
+                    peak_mbps=float(row["peak_mbps"]),
+                    mean_no_bt_mbps=float(row["mean_no_bt_mbps"]),
+                    peak_no_bt_mbps=float(row["peak_no_bt_mbps"]),
+                )
+                observation = PeriodObservation(
                     period=period,
                     latency_ms=float(row["latency_ms"]),
                     loss_fraction=float(row["loss_fraction"]),
@@ -146,34 +155,47 @@ def read_users_csv(path: str | Path) -> list[UserRecord]:
                     mean_up_mbps=_optional(row["mean_up_mbps"]),
                     peak_up_mbps=_optional(row["peak_up_mbps"]),
                 )
+            except (ValueError, TypeError, KeyError, DatasetError) as exc:
+                if not lenient:
+                    raise
+                errors.append(f"{path}:{line}: {exc}")
+                continue
+            entry = grouped.setdefault(
+                row["user_id"], {"row": row, "observations": []}
             )
+            entry["observations"].append(observation)
     users = []
     for entry in grouped.values():
         row = entry["row"]
         observations = sorted(
             entry["observations"], key=lambda o: o.period.start_day
         )
-        users.append(
-            UserRecord(
-                user_id=row["user_id"],
-                source=row["source"],
-                country=row["country"],
-                region=row["region"],
-                development=row["development"],
-                vantage=row["vantage"],
-                technology=row["technology"],
-                bt_user=bool(int(row["bt_user"])),
-                observations=tuple(observations),
-                price_of_access_usd=_optional(row["price_of_access_usd"]),
-                upgrade_cost_usd_per_mbps=_optional(
-                    row["upgrade_cost_usd_per_mbps"]
-                ),
-                gdp_per_capita_usd=float(row["gdp_per_capita_usd"]),
-                plan_data_cap_gb=_optional(row["plan_data_cap_gb"]),
-                web_latency_ms=_optional(row["web_latency_ms"]),
-                ndt_2014_latency_ms=_optional(row["ndt_2014_latency_ms"]),
+        try:
+            users.append(
+                UserRecord(
+                    user_id=row["user_id"],
+                    source=row["source"],
+                    country=row["country"],
+                    region=row["region"],
+                    development=row["development"],
+                    vantage=row["vantage"],
+                    technology=row["technology"],
+                    bt_user=bool(int(row["bt_user"])),
+                    observations=tuple(observations),
+                    price_of_access_usd=_optional(row["price_of_access_usd"]),
+                    upgrade_cost_usd_per_mbps=_optional(
+                        row["upgrade_cost_usd_per_mbps"]
+                    ),
+                    gdp_per_capita_usd=float(row["gdp_per_capita_usd"]),
+                    plan_data_cap_gb=_optional(row["plan_data_cap_gb"]),
+                    web_latency_ms=_optional(row["web_latency_ms"]),
+                    ndt_2014_latency_ms=_optional(row["ndt_2014_latency_ms"]),
+                )
             )
-        )
+        except (ValueError, TypeError, KeyError, DatasetError) as exc:
+            if not lenient:
+                raise
+            errors.append(f"{path}: user {row.get('user_id', '?')}: {exc}")
     return sorted(users, key=lambda u: u.user_id)
 
 
@@ -302,10 +324,23 @@ def read_survey_csv(path: str | Path) -> PlanSurvey:
     return PlanSurvey(markets=markets)
 
 
-def write_config_json(config: WorldConfig, path: str | Path) -> None:
-    """Persist a world configuration for provenance."""
+def config_payload(config: WorldConfig) -> dict:
+    """JSON-ready dict of a config, omitting fields at their defaults
+    that postdate the original format (``faults``, ``sanitize``), so
+    fault-free configs serialize byte-identically to the original layout
+    and hash to the same cache keys."""
     payload = dataclasses.asdict(config)
     payload["years"] = list(config.years)
+    if config.faults is None:
+        payload.pop("faults")
+    if config.sanitize is False:
+        payload.pop("sanitize")
+    return payload
+
+
+def write_config_json(config: WorldConfig, path: str | Path) -> None:
+    """Persist a world configuration for provenance."""
+    payload = config_payload(config)
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
 
 

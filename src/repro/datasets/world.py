@@ -16,9 +16,11 @@ from typing import Mapping
 
 from ..behavior.population import LatentUser
 from ..exceptions import DatasetError
+from ..faults.config import FaultConfig
 from ..market.countries import CountryProfile
 from ..market.survey import PlanSurvey
 from .records import UserRecord
+from .sanitize import SanitizationReport
 
 __all__ = ["DasuDataset", "FccDataset", "World", "WorldConfig"]
 
@@ -49,8 +51,21 @@ class WorldConfig:
     price_selection_enabled: bool = True
     quality_suppression_enabled: bool = True
     demand_growth_enabled: bool = True
+    #: Measurement-substrate fault injection (see :mod:`repro.faults`).
+    #: ``None`` — the default — means a pristine substrate and output
+    #: byte-identical to worlds built before fault injection existed.
+    faults: FaultConfig | None = None
+    #: Run the :mod:`repro.datasets.sanitize` cleaning stage while
+    #: building (sample-level repair inside collection, record-level
+    #: filtering afterwards) and attach its report to the world.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
+        if isinstance(self.faults, dict):
+            # Allow configs deserialized from JSON payloads.
+            object.__setattr__(self, "faults", FaultConfig(**self.faults))
+        if self.faults is not None and not isinstance(self.faults, FaultConfig):
+            raise DatasetError("faults must be a FaultConfig or None")
         if self.n_dasu_users < 0 or self.n_fcc_users < 0:
             raise DatasetError("user counts cannot be negative")
         if not self.years or tuple(sorted(self.years)) != tuple(self.years):
@@ -101,6 +116,11 @@ class World:
     #: Raw collected traces for the sampled subset of users (empty unless
     #: ``config.trace_user_fraction`` > 0).
     traces: Mapping[str, tuple] = field(default_factory=dict, repr=False)
+    #: What the sanitization stage did (``None`` unless
+    #: ``config.sanitize`` was set when the world was built).
+    sanitization: SanitizationReport | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def all_users(self) -> tuple[UserRecord, ...]:

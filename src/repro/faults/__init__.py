@@ -1,0 +1,20 @@
+"""Configurable, seeded fault injection for the measurement substrate.
+
+See :mod:`repro.faults.config` for the knobs and severity profiles and
+:mod:`repro.faults.injector` for the mechanics. The world builder wires
+an injector per household when
+:attr:`repro.datasets.world.WorldConfig.faults` is set; the companion
+ingest stage lives in :mod:`repro.datasets.sanitize`.
+"""
+
+from .config import FAULT_PROFILES, FaultConfig, fault_profile
+from .injector import RESET_SENTINEL_MBPS, FaultInjector, wrap_quantum_mbps
+
+__all__ = [
+    "FAULT_PROFILES",
+    "FaultConfig",
+    "FaultInjector",
+    "RESET_SENTINEL_MBPS",
+    "fault_profile",
+    "wrap_quantum_mbps",
+]

@@ -1,0 +1,166 @@
+"""Fault-injection configuration and severity profiles.
+
+A :class:`FaultConfig` describes how dirty the simulated measurement
+substrate should be. Every rate is an independent probability (or, for
+the clock knobs, an amount in hours); all of them default to zero, so a
+``FaultConfig()`` — and a :class:`~repro.datasets.world.WorldConfig`
+without one — produces byte-identical output to a world built before
+this subsystem existed.
+
+The named severity profiles bundle the rates observed in real
+deployments of the paper's data sources:
+
+* ``light`` — a well-behaved panel: rare reboots, occasional missed
+  samples, a few failed NDT runs;
+* ``default`` — the pathologies the paper actually reports cleaning
+  (UPnP counter wraps/resets per DiCioccio et al., Dasu host churn,
+  FCC gateway reporting gaps);
+* ``heavy`` — an adversarially dirty panel, for stress tests; analyses
+  are *not* expected to reproduce clean-world findings here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from ..exceptions import ReproError
+
+__all__ = ["FAULT_PROFILES", "FaultConfig", "fault_profile"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Rates of every modeled measurement pathology (all default off)."""
+
+    #: Label of the severity profile this config was derived from.
+    profile: str = "custom"
+
+    # -- host churn / attrition ------------------------------------------
+    #: Chance a recruited household never produces usable data at all
+    #: (client uninstalled, gateway replaced) and silently vanishes.
+    household_loss_rate: float = 0.0
+    #: Chance a household's panel membership is cut short: its observed
+    #: year range is truncated to a random prefix.
+    attrition_rate: float = 0.0
+
+    # -- sample-level pathologies (byte counters) ------------------------
+    #: Per-sample chance a collected 30-second sample is lost.
+    sample_drop_rate: float = 0.0
+    #: Per-sample chance a sample is reported twice (scheduler double
+    #: fire, upload retry).
+    sample_duplicate_rate: float = 0.0
+    #: Per-sample chance the counter reset between reads (gateway or
+    #: host reboot); the interval's volume is unknowable and surfaces
+    #: as a ``-1`` sentinel rate.
+    counter_reset_rate: float = 0.0
+    #: Per-sample chance of an *uncorrected* uint32 wrap — the client's
+    #: own wrap correction missed it (e.g. a double wrap inside a read
+    #: gap), so the sample's implied volume is 2^32 bytes too high.
+    counter_wrap_rate: float = 0.0
+
+    # -- NDT runs ---------------------------------------------------------
+    #: Per-test chance an NDT run fails outright and reports nothing.
+    ndt_failure_rate: float = 0.0
+    #: Per-test chance a run is truncated mid-transfer, underestimating
+    #: the connection's capacity.
+    ndt_truncation_rate: float = 0.0
+
+    # -- clocks -----------------------------------------------------------
+    #: Maximum constant local-clock offset of a household, in hours
+    #: (drawn uniformly in ``[-max, +max]`` once per household).
+    clock_skew_max_hours: float = 0.0
+    #: Standard deviation of per-sample timestamp jitter, in hours.
+    clock_jitter_hours: float = 0.0
+
+    # -- gateway reporting gaps ------------------------------------------
+    #: Per-period chance an FCC gateway loses a contiguous block of
+    #: hourly records (upload backlog, firmware update).
+    gateway_gap_rate: float = 0.0
+    #: Largest fraction of a period's records one gap may swallow.
+    gateway_gap_max_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if f.name == "profile":
+                continue
+            value = getattr(self, f.name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ReproError(f"fault rate {f.name} must be a number")
+            if f.name in ("clock_skew_max_hours", "clock_jitter_hours"):
+                if value < 0.0:
+                    raise ReproError(f"{f.name} cannot be negative")
+            elif not 0.0 <= value <= 1.0:
+                raise ReproError(f"{f.name} must be a fraction, got {value}")
+
+    @property
+    def is_noop(self) -> bool:
+        """True when every rate is zero — injection changes nothing."""
+        return all(
+            getattr(self, f.name) == 0.0
+            for f in fields(self)
+            if f.name != "profile"
+        )
+
+
+#: The named severity profiles, from least to most damaged.
+FAULT_PROFILES: dict[str, FaultConfig] = {
+    "light": FaultConfig(
+        profile="light",
+        household_loss_rate=0.01,
+        attrition_rate=0.02,
+        sample_drop_rate=0.01,
+        sample_duplicate_rate=0.005,
+        counter_reset_rate=0.001,
+        counter_wrap_rate=0.002,
+        ndt_failure_rate=0.02,
+        ndt_truncation_rate=0.02,
+        clock_skew_max_hours=0.5,
+        clock_jitter_hours=0.002,
+        gateway_gap_rate=0.05,
+        gateway_gap_max_fraction=0.15,
+    ),
+    "default": FaultConfig(
+        profile="default",
+        household_loss_rate=0.03,
+        attrition_rate=0.08,
+        sample_drop_rate=0.05,
+        sample_duplicate_rate=0.02,
+        counter_reset_rate=0.004,
+        counter_wrap_rate=0.008,
+        ndt_failure_rate=0.08,
+        ndt_truncation_rate=0.05,
+        clock_skew_max_hours=1.5,
+        clock_jitter_hours=0.005,
+        gateway_gap_rate=0.15,
+        gateway_gap_max_fraction=0.3,
+    ),
+    "heavy": FaultConfig(
+        profile="heavy",
+        household_loss_rate=0.10,
+        attrition_rate=0.25,
+        sample_drop_rate=0.25,
+        sample_duplicate_rate=0.08,
+        counter_reset_rate=0.02,
+        counter_wrap_rate=0.04,
+        ndt_failure_rate=0.30,
+        ndt_truncation_rate=0.20,
+        clock_skew_max_hours=4.0,
+        clock_jitter_hours=0.02,
+        gateway_gap_rate=0.5,
+        gateway_gap_max_fraction=0.6,
+    ),
+}
+
+
+def fault_profile(name: str) -> FaultConfig | None:
+    """Resolve a severity profile name; ``"off"``/``"none"`` mean no
+    injection (the default world)."""
+    if name in ("off", "none"):
+        return None
+    try:
+        return FAULT_PROFILES[name]
+    except KeyError:
+        known = ", ".join(("off", *FAULT_PROFILES))
+        raise ReproError(
+            f"unknown fault profile {name!r} (expected one of: {known})"
+        ) from None

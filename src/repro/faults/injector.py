@@ -1,0 +1,205 @@
+"""Seeded fault injection over measurement-client output.
+
+A :class:`FaultInjector` perturbs what the simulated clients collected —
+*after* the generative substrate and the clients' own artifact handling,
+*before* summarization — with the pathologies a real panel exhibits.
+Each household owns one injector fed by a dedicated
+``SeedSequence([seed, FAULT_STREAM, source_stream, country, user])``
+random stream, so injection never perturbs the clean generative draws
+and is bit-identical for any worker count or chunk size.
+
+Injected damage is what the ingest stage
+(:mod:`repro.datasets.sanitize`) must detect and repair:
+
+* **counter resets** surface as ``-1`` sentinel rates (the interval's
+  true volume is unknowable — same convention as
+  :func:`repro.measurement.upnp.deltas_from_readings`);
+* **uncorrected uint32 wraps** surface as rates exactly one
+  2^32-byte quantum too high for the sample's accounting interval;
+* **duplicates** repeat a sample verbatim (same rate, same timestamp);
+* **drops, churn, NDT failures and gateway gaps** remove data outright
+  and are unrecoverable — sanitization can only enforce minimum
+  observation floors afterwards.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..measurement.ndt import NdtResult
+from ..units import UINT32_WRAP, bytes_to_megabits
+from .config import FaultConfig
+
+__all__ = ["FaultInjector", "wrap_quantum_mbps"]
+
+#: Sentinel rate marking a sample whose true volume is unknowable
+#: (counter reset mid-interval). Owned by ``repro.datasets.sanitize``,
+#: which is the only stage allowed to drop it.
+RESET_SENTINEL_MBPS = -1.0
+
+_SampleArrays = tuple[
+    np.ndarray, np.ndarray, np.ndarray, "np.ndarray | None"
+]
+
+
+def wrap_quantum_mbps(interval_s: float) -> float:
+    """The rate overshoot one missed uint32 wrap causes at an interval."""
+    return bytes_to_megabits(float(UINT32_WRAP)) / interval_s
+
+
+class FaultInjector:
+    """Applies one household's share of configured pathologies."""
+
+    def __init__(self, config: FaultConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self._rng = rng
+        # The household's constant local-clock offset, drawn up front so
+        # every later draw sits at a fixed stream position.
+        self._clock_skew_hours = float(
+            rng.uniform(-1.0, 1.0) * config.clock_skew_max_hours
+        )
+
+    # -- host churn ------------------------------------------------------
+
+    def household_lost(self) -> bool:
+        """Whether this household vanishes before producing any data."""
+        return bool(self._rng.random() < self.config.household_loss_rate)
+
+    def perturb_panel(self, entry_year: int, exit_year: int) -> tuple[int, int]:
+        """Possibly cut a household's panel membership short."""
+        if self._rng.random() < self.config.attrition_rate:
+            span = exit_year - entry_year
+            exit_year = entry_year + int(self._rng.integers(0, span + 1))
+        return entry_year, exit_year
+
+    # -- sample-level pathologies ----------------------------------------
+
+    def _skewed_hours(self, hours: np.ndarray) -> np.ndarray:
+        jitter = self._rng.normal(0.0, 1.0, hours.size)
+        return (
+            hours
+            + self._clock_skew_hours
+            + jitter * self.config.clock_jitter_hours
+        ) % 24.0
+
+    def perturb_dasu_samples(
+        self,
+        rates: np.ndarray,
+        bt_active: np.ndarray,
+        hours: np.ndarray,
+        up_rates: np.ndarray | None,
+        *,
+        interval_s: float,
+    ) -> _SampleArrays:
+        """Damage one Dasu period's collected byte-counter samples.
+
+        Applied in fixed order — clock skew/jitter, uncorrected wraps,
+        counter resets, duplicates, drops — so the household's fault
+        stream is consumed identically however the build is sharded.
+        """
+        cfg = self.config
+        n = int(rates.size)
+        if n == 0:
+            return rates, bt_active, hours, up_rates
+        rates = np.array(rates, dtype=float, copy=True)
+        hours = self._skewed_hours(np.asarray(hours, dtype=float))
+        if up_rates is not None:
+            up_rates = np.array(up_rates, dtype=float, copy=True)
+
+        wrapped = self._rng.random(n) < cfg.counter_wrap_rate
+        rates[wrapped] += wrap_quantum_mbps(interval_s)
+
+        reset = self._rng.random(n) < cfg.counter_reset_rate
+        rates[reset] = RESET_SENTINEL_MBPS
+        if up_rates is not None:
+            # The same reboot voids both directions' counters.
+            up_rates[reset] = RESET_SENTINEL_MBPS
+
+        return self._duplicate_and_drop(rates, bt_active, hours, up_rates)
+
+    def perturb_gateway_samples(
+        self,
+        rates: np.ndarray,
+        bt_active: np.ndarray,
+        hours: np.ndarray,
+        up_rates: np.ndarray | None,
+    ) -> _SampleArrays:
+        """Damage one FCC gateway period's hourly records.
+
+        Gateways timestamp server-side (no clock skew) and aggregate
+        64-bit counters (no wraps); their signature pathology is the
+        *reporting gap* — a contiguous block of hourly records lost to
+        an upload backlog — plus occasional duplicated uploads.
+        """
+        cfg = self.config
+        n = int(rates.size)
+        if n == 0:
+            return rates, bt_active, hours, up_rates
+        if self._rng.random() < cfg.gateway_gap_rate and n > 1:
+            max_len = max(1, int(cfg.gateway_gap_max_fraction * n))
+            length = int(self._rng.integers(1, max_len + 1))
+            start = int(self._rng.integers(0, n))
+            keep = np.ones(n, dtype=bool)
+            keep[start : start + length] = False
+            if not np.any(keep):
+                keep[0] = True
+            rates = rates[keep]
+            bt_active = bt_active[keep]
+            hours = hours[keep]
+            if up_rates is not None:
+                up_rates = up_rates[keep]
+        return self._duplicate_and_drop(rates, bt_active, hours, up_rates)
+
+    def _duplicate_and_drop(
+        self,
+        rates: np.ndarray,
+        bt_active: np.ndarray,
+        hours: np.ndarray,
+        up_rates: np.ndarray | None,
+    ) -> _SampleArrays:
+        cfg = self.config
+        n = int(rates.size)
+        duplicated = self._rng.random(n) < cfg.sample_duplicate_rate
+        if np.any(duplicated):
+            repeats = np.where(duplicated, 2, 1)
+            rates = np.repeat(rates, repeats)
+            bt_active = np.repeat(bt_active, repeats)
+            hours = np.repeat(hours, repeats)
+            if up_rates is not None:
+                up_rates = np.repeat(up_rates, repeats)
+            n = int(rates.size)
+        dropped = self._rng.random(n) < cfg.sample_drop_rate
+        if np.any(dropped):
+            keep = ~dropped
+            rates = rates[keep]
+            bt_active = bt_active[keep]
+            hours = hours[keep]
+            if up_rates is not None:
+                up_rates = up_rates[keep]
+        return rates, bt_active, hours, up_rates
+
+    # -- NDT runs ---------------------------------------------------------
+
+    def perturb_ndt(self, tests: list[NdtResult]) -> list[NdtResult]:
+        """Fail or truncate test runs; failed runs report nothing."""
+        cfg = self.config
+        n = len(tests)
+        if n == 0:
+            return tests
+        failed = self._rng.random(n) < cfg.ndt_failure_rate
+        truncated = self._rng.random(n) < cfg.ndt_truncation_rate
+        factors = self._rng.uniform(0.15, 0.6, n)
+        out: list[NdtResult] = []
+        for i, test in enumerate(tests):
+            if failed[i]:
+                continue
+            if truncated[i]:
+                test = dataclasses.replace(
+                    test,
+                    download_mbps=test.download_mbps * float(factors[i]),
+                    upload_mbps=test.upload_mbps * float(factors[i]),
+                )
+            out.append(test)
+        return out

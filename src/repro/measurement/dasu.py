@@ -25,8 +25,8 @@ from ..traffic.diurnal import diurnal_weight
 from ..traffic.generator import UsageSeries
 from ..traffic.sessions import draw_on_intervals, intervals_to_mask
 from ..units import UINT32_WRAP, bytes_to_megabits, mbps_to_bytes_per_sec
-from .netstat import deltas_from_netstat
-from .upnp import deltas_from_readings
+from .netstat import REBOOT_PROBABILITY_PER_READ, deltas_from_netstat
+from .upnp import RESET_PROBABILITY_PER_READ, deltas_from_readings
 
 __all__ = ["DasuClient", "DasuVantage", "SampledUsage"]
 
@@ -128,13 +128,13 @@ class DasuClient:
         n = cumulative.size
         if self.vantage is DasuVantage.DIRECT:
             readings = cumulative.copy()
-            reboot = self._rng.random(n) < 0.0002
+            reboot = self._rng.random(n) < REBOOT_PROBABILITY_PER_READ
             for idx in np.nonzero(reboot)[0]:
                 readings[idx:] -= readings[idx]
             return readings
         start = int(self._rng.integers(0, UINT32_WRAP))
         readings = start + cumulative
-        reset = self._rng.random(n) < 0.0005
+        reset = self._rng.random(n) < RESET_PROBABILITY_PER_READ
         for idx in np.nonzero(reset)[0]:
             readings[idx:] -= readings[idx]
         return readings % UINT32_WRAP
@@ -170,6 +170,11 @@ class DasuClient:
         )
         deltas = decode(self._counter_readings(byte_deltas)[read_slots])
 
+        # The client drops intervals it can see are unusable at read
+        # time: a reset it detected itself (the decoder's -1) or a read
+        # gap too wide to attribute. Resets the client *misses* — the
+        # fault injector's sentinels — are a different population, owned
+        # downstream by repro.datasets.sanitize.strip_sentinels.
         gaps = np.diff(read_slots)
         valid = (deltas >= 0) & (gaps <= MAX_GAP_SLOTS)
 

@@ -67,6 +67,19 @@ class FccGateway:
             return hourly
         return hourly[kept]
 
+    def collect(
+        self, series: UsageSeries
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """(hourly rates, hours, aligned uplink rates or ``None``).
+
+        One call per observed period: downlink records first, then the
+        uplink aligned to the same record-loss mask — the exact draw
+        order the world builder has always used, so collection through
+        this wrapper is byte-identical to the two separate calls.
+        """
+        hourly, hours = self.hourly_rates_with_hours(series)
+        return hourly, hours, self.hourly_upload_rates(series)
+
     def hourly_rates(self, series: UsageSeries) -> np.ndarray:
         """Average WAN download rate per hour, in Mbps."""
         rates, _ = self.hourly_rates_with_hours(series)

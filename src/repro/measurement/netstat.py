@@ -11,7 +11,15 @@ import numpy as np
 
 from ..exceptions import MeasurementError
 
-__all__ = ["NetstatCounter", "deltas_from_netstat"]
+__all__ = [
+    "REBOOT_PROBABILITY_PER_READ",
+    "NetstatCounter",
+    "deltas_from_netstat",
+]
+
+#: Chance per read that the host has rebooted and its interface
+#: counters restarted from zero.
+REBOOT_PROBABILITY_PER_READ = 0.0002
 
 
 class NetstatCounter:
@@ -20,7 +28,7 @@ class NetstatCounter:
     def __init__(
         self,
         rng: np.random.Generator,
-        reboot_probability_per_read: float = 0.0002,
+        reboot_probability_per_read: float = REBOOT_PROBABILITY_PER_READ,
     ) -> None:
         if not 0.0 <= reboot_probability_per_read < 1.0:
             raise MeasurementError("reboot probability must be a fraction")
@@ -42,8 +50,10 @@ class NetstatCounter:
 def deltas_from_netstat(readings: np.ndarray) -> np.ndarray:
     """Per-interval byte counts from 64-bit counter readings.
 
-    Any decrease is a host reboot; the interval is reported as ``-1`` so
-    callers can drop it.
+    Any decrease is a host reboot; the interval is reported as ``-1``.
+    As with UPnP resets, dropping the sentinel is owned by the
+    sanitization stage (:mod:`repro.datasets.sanitize`), not by
+    measurement code.
     """
     raw = np.asarray(readings, dtype=np.int64)
     if raw.ndim != 1 or raw.size < 2:

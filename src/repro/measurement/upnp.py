@@ -14,7 +14,11 @@ import numpy as np
 from ..exceptions import MeasurementError
 from ..units import UINT32_WRAP
 
-__all__ = ["UpnpCounter", "deltas_from_readings"]
+__all__ = ["RESET_PROBABILITY_PER_READ", "UpnpCounter", "deltas_from_readings"]
+
+#: Chance per read that the gateway has rebooted and the counter
+#: restarted from zero (matches DiCioccio et al.'s reported reset rates).
+RESET_PROBABILITY_PER_READ = 0.0005
 
 
 class UpnpCounter:
@@ -23,7 +27,7 @@ class UpnpCounter:
     def __init__(
         self,
         rng: np.random.Generator,
-        reset_probability_per_read: float = 0.0005,
+        reset_probability_per_read: float = RESET_PROBABILITY_PER_READ,
     ) -> None:
         if not 0.0 <= reset_probability_per_read < 1.0:
             raise MeasurementError("reset probability must be a fraction")
@@ -55,7 +59,10 @@ def deltas_from_readings(readings: np.ndarray) -> np.ndarray:
       wrap, corrected by adding 2^32;
     * **reset** — a decrease of less than half the range means the
       gateway rebooted; the interval's true volume is unknowable and is
-      reported as ``-1`` so callers can drop it.
+      reported as ``-1``. Dropping sentinel intervals is owned by the
+      sanitization stage (:mod:`repro.datasets.sanitize`), never by
+      measurement code: a ``-1`` must be *visible* in collected output
+      so the cleaning pass can account for it.
 
     Returns an integer array one shorter than ``readings``.
     """

@@ -1,19 +1,32 @@
 """Shared fixtures for the test suite.
 
-The expensive fixture is ``small_world``: a fully built synthetic world,
-large enough for every analysis to run, small enough to build in a few
-seconds. It is session-scoped and shared by the integration and analysis
-tests; unit tests build their own tiny inputs instead.
+The expensive fixtures are the session-scoped worlds, each built at most
+once per session and only when a test actually requests it:
+
+* ``small_world`` — large enough for every analysis to run, small enough
+  to build in a few seconds (the workhorse of the analysis tests);
+* ``tiny_world`` — the smallest world that still exercises every
+  builder code path (unit-level dataset tests);
+* ``faulted_world_light`` / ``faulted_world_default`` /
+  ``faulted_world_heavy`` — ``small_world``'s configuration with fault
+  injection at each severity profile plus sanitization, for the
+  robustness regression suite;
+* ``sanitized_small_world`` — ``small_world`` rebuilt with the cleaning
+  stage enabled but no faults (must be equivalent to ``small_world``).
+
+Unit tests build their own tiny inputs instead.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 
 import numpy as np
 import pytest
 
 from repro.datasets import World, WorldConfig, build_world
+from repro.faults import fault_profile
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -57,3 +70,44 @@ def dasu_users(small_world: World):
 @pytest.fixture(scope="session")
 def fcc_users(small_world: World):
     return small_world.fcc.users
+
+
+TINY_WORLD_CONFIG = WorldConfig(
+    seed=11, n_dasu_users=150, n_fcc_users=40, days_per_year=1.0
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_world() -> World:
+    """The smallest world exercising every builder code path."""
+    return build_world(TINY_WORLD_CONFIG)
+
+
+def faulted_config(profile: str, base: WorldConfig = SMALL_WORLD_CONFIG) -> WorldConfig:
+    """``base`` with fault injection at ``profile`` plus sanitization."""
+    return dataclasses.replace(
+        base, faults=fault_profile(profile), sanitize=True
+    )
+
+
+@pytest.fixture(scope="session")
+def faulted_world_light() -> World:
+    return build_world(faulted_config("light"))
+
+
+@pytest.fixture(scope="session")
+def faulted_world_default() -> World:
+    return build_world(faulted_config("default"))
+
+
+@pytest.fixture(scope="session")
+def faulted_world_heavy() -> World:
+    return build_world(faulted_config("heavy"))
+
+
+@pytest.fixture(scope="session")
+def sanitized_small_world() -> World:
+    """``small_world`` rebuilt with cleaning on but a pristine substrate."""
+    return build_world(
+        dataclasses.replace(SMALL_WORLD_CONFIG, sanitize=True)
+    )

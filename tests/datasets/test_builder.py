@@ -1,4 +1,8 @@
-"""End-to-end world building."""
+"""End-to-end world building.
+
+The world under test is the session-scoped ``tiny_world`` fixture from
+``tests/conftest.py`` (built once, shared with the io and fault tests).
+"""
 
 import numpy as np
 import pytest
@@ -6,12 +10,7 @@ import pytest
 from repro.datasets import WorldConfig, build_world
 from repro.datasets.records import UserRecord
 
-TINY = WorldConfig(seed=11, n_dasu_users=150, n_fcc_users=40, days_per_year=1.0)
-
-
-@pytest.fixture(scope="module")
-def tiny_world():
-    return build_world(TINY)
+from ..conftest import TINY_WORLD_CONFIG as TINY
 
 
 class TestBuildWorld:

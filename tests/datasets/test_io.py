@@ -1,9 +1,12 @@
-"""Dataset persistence."""
+"""Dataset persistence.
 
-import numpy as np
+Round-trip tests run against the shared session-scoped ``tiny_world``
+fixture (see ``tests/conftest.py``) instead of building their own world.
+"""
+
 import pytest
 
-from repro.datasets import WorldConfig, build_world
+from repro.datasets import WorldConfig
 from repro.datasets.io import (
     read_config_json,
     read_users_csv,
@@ -15,10 +18,8 @@ from repro.exceptions import DatasetError
 
 
 @pytest.fixture(scope="module")
-def world():
-    return build_world(
-        WorldConfig(seed=21, n_dasu_users=60, n_fcc_users=15, days_per_year=1.0)
-    )
+def world(tiny_world):
+    return tiny_world
 
 
 class TestUsersCsv:

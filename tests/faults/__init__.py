@@ -1,0 +1,1 @@
+"""Tests for fault injection and the hardened ingest/sanitization stage."""

@@ -1,0 +1,161 @@
+"""FaultConfig validation, severity profiles, and injector mechanics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.faults import (
+    FAULT_PROFILES,
+    FaultConfig,
+    FaultInjector,
+    fault_profile,
+)
+from repro.faults.injector import RESET_SENTINEL_MBPS, wrap_quantum_mbps
+from repro.measurement.ndt import NdtResult
+
+
+class TestFaultConfig:
+    def test_defaults_are_all_off(self):
+        assert FaultConfig().is_noop
+
+    def test_profiles_are_not_noops(self):
+        for name, config in FAULT_PROFILES.items():
+            assert not config.is_noop
+            assert config.profile == name
+
+    def test_severity_ordering(self):
+        light, default, heavy = (
+            FAULT_PROFILES[n] for n in ("light", "default", "heavy")
+        )
+        for rate in ("sample_drop_rate", "counter_reset_rate",
+                     "ndt_failure_rate", "household_loss_rate"):
+            assert (
+                getattr(light, rate)
+                < getattr(default, rate)
+                < getattr(heavy, rate)
+            )
+
+    @pytest.mark.parametrize("field,value", [
+        ("sample_drop_rate", -0.1),
+        ("sample_drop_rate", 1.5),
+        ("counter_wrap_rate", 2.0),
+        ("clock_skew_max_hours", -1.0),
+    ])
+    def test_out_of_range_rates_rejected(self, field, value):
+        with pytest.raises(ReproError):
+            FaultConfig(**{field: value})
+
+    def test_non_numeric_rate_rejected(self):
+        with pytest.raises(ReproError):
+            FaultConfig(sample_drop_rate="lots")
+
+    def test_profile_resolution(self):
+        assert fault_profile("off") is None
+        assert fault_profile("none") is None
+        assert fault_profile("default") is FAULT_PROFILES["default"]
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ReproError, match="unknown fault profile"):
+            fault_profile("catastrophic")
+
+
+def _injector(seed=0, **rates):
+    return FaultInjector(FaultConfig(**rates), np.random.default_rng(seed))
+
+
+class TestInjectorMechanics:
+    def test_household_loss_at_rate_one(self):
+        assert _injector(household_loss_rate=1.0).household_lost()
+        assert not _injector().household_lost()
+
+    def test_attrition_truncates_panel(self):
+        entry, exit_ = _injector(attrition_rate=1.0).perturb_panel(2011, 2014)
+        assert entry == 2011
+        assert 2011 <= exit_ <= 2014
+
+    def test_no_attrition_preserves_panel(self):
+        assert _injector().perturb_panel(2011, 2014) == (2011, 2014)
+
+    def test_resets_void_both_directions(self):
+        injector = _injector(counter_reset_rate=1.0)
+        rates = np.array([5.0, 6.0])
+        up = np.array([1.0, 2.0])
+        out_r, _, _, out_up = injector.perturb_dasu_samples(
+            rates, np.zeros(2, bool), np.arange(2.0), up, interval_s=30.0
+        )
+        assert np.all(out_r == RESET_SENTINEL_MBPS)
+        assert np.all(out_up == RESET_SENTINEL_MBPS)
+
+    def test_wraps_add_exactly_one_quantum(self):
+        injector = _injector(counter_wrap_rate=1.0)
+        rates = np.array([5.0])
+        out_r, _, _, _ = injector.perturb_dasu_samples(
+            rates, np.zeros(1, bool), np.zeros(1), None, interval_s=30.0
+        )
+        assert out_r[0] == pytest.approx(5.0 + wrap_quantum_mbps(30.0))
+
+    def test_duplicates_repeat_samples_verbatim(self):
+        injector = _injector(sample_duplicate_rate=1.0)
+        rates = np.array([5.0, 7.0])
+        hours = np.array([1.0, 2.0])
+        out_r, _, out_h, _ = injector.perturb_dasu_samples(
+            rates, np.zeros(2, bool), hours, None, interval_s=30.0
+        )
+        assert np.array_equal(out_r, [5.0, 5.0, 7.0, 7.0])
+        assert np.array_equal(out_h, [1.0, 1.0, 2.0, 2.0])
+
+    def test_gateway_gap_removes_contiguous_block(self):
+        injector = _injector(
+            gateway_gap_rate=1.0, gateway_gap_max_fraction=0.5
+        )
+        n = 100
+        rates = np.arange(float(n))
+        out_r, _, out_h, _ = injector.perturb_gateway_samples(
+            rates, np.zeros(n, bool), np.arange(float(n)), None
+        )
+        assert 0 < out_r.size < n
+        # Survivors keep their original order and values.
+        assert np.all(np.diff(out_r) > 0)
+
+    def test_ndt_failure_removes_runs(self):
+        injector = _injector(ndt_failure_rate=1.0)
+        tests = [
+            NdtResult(day=float(i), download_mbps=10.0, upload_mbps=1.0,
+                      rtt_ms=20.0, loss_fraction=0.0)
+            for i in range(5)
+        ]
+        assert injector.perturb_ndt(tests) == []
+        assert injector.perturb_ndt([]) == []
+
+    def test_ndt_truncation_underestimates_capacity(self):
+        injector = _injector(ndt_truncation_rate=1.0)
+        tests = [
+            NdtResult(day=0.0, download_mbps=10.0, upload_mbps=1.0,
+                      rtt_ms=20.0, loss_fraction=0.0)
+        ]
+        (out,) = injector.perturb_ndt(tests)
+        assert 0.15 * 10.0 <= out.download_mbps <= 0.6 * 10.0
+        assert out.rtt_ms == 20.0
+
+    def test_clock_skew_shifts_hours_mod_24(self):
+        injector = _injector(seed=5, clock_skew_max_hours=4.0)
+        hours = np.array([0.0, 12.0, 23.5])
+        _, _, out_h, _ = injector.perturb_dasu_samples(
+            np.ones(3), np.zeros(3, bool), hours, None, interval_s=30.0
+        )
+        assert np.all((0.0 <= out_h) & (out_h < 24.0))
+        assert not np.array_equal(out_h, hours)
+
+    def test_empty_arrays_pass_through(self):
+        injector = _injector(sample_drop_rate=0.5)
+        empty = np.array([])
+        out = injector.perturb_dasu_samples(
+            empty, np.array([], bool), empty, None, interval_s=30.0
+        )
+        assert out[0].size == 0
+        gw = injector.perturb_gateway_samples(
+            empty, np.array([], bool), empty, None
+        )
+        assert gw[0].size == 0

@@ -88,6 +88,49 @@ class TestBuild:
         assert "positive integer" in capsys.readouterr().err
 
 
+class TestFaultFlags:
+    def test_fault_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["build", "--out", "/tmp/x", "--faults", "default", "--sanitize"]
+        )
+        assert args.faults == "default"
+        assert args.sanitize is True
+
+    def test_faults_off_by_default(self):
+        args = build_parser().parse_args(["build", "--out", "/tmp/x"])
+        assert args.faults == "off"
+        assert args.sanitize is False
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["build", "--out", "/tmp/x", "--faults", "bogus"]
+            )
+
+    def test_report_accepts_fault_flags(self):
+        args = build_parser().parse_args(["report", "--faults", "light"])
+        assert args.faults == "light"
+
+    def test_build_with_faults_writes_report(self, tmp_path, capsys):
+        rc = main(
+            ["build", "--out", str(tmp_path / "w"), "--users", "40",
+             "--fcc", "10", "--days", "1.0", "--seed", "3",
+             "--faults", "default", "--sanitize", "--no-cache"]
+        )
+        assert rc == 0
+        assert (tmp_path / "w" / "sanitization.json").exists()
+        assert "sanitization report" in capsys.readouterr().out
+
+    def test_faults_off_writes_no_report(self, tmp_path, capsys):
+        rc = main(
+            ["build", "--out", str(tmp_path / "w"), "--users", "40",
+             "--fcc", "10", "--days", "1.0", "--seed", "3", "--no-cache"]
+        )
+        assert rc == 0
+        assert not (tmp_path / "w" / "sanitization.json").exists()
+        assert "sanitization report" not in capsys.readouterr().out
+
+
 class TestAnalyze:
     @pytest.mark.parametrize("experiment", EXPERIMENTS)
     def test_every_experiment_runs(self, data_dir, capsys, experiment):
