@@ -19,10 +19,16 @@ import numpy as np
 
 from ..core.binning import Bin, BinSpec, capacity_class_spec
 from ..core.experiments import ExperimentResult, NaturalExperiment, PairedOutcome
-from ..core.matching import DEFAULT_CALIPER, MatchingSummary, match_pairs
+from ..core.matching import (
+    DEFAULT_CALIPER,
+    LOSS_MATCH_FLOOR,
+    MatchingSummary,
+    match_pairs,
+)
 from ..core.stats import ConfidenceInterval, mean_confidence_interval, pearson_r
 from ..datasets.records import UserRecord
 from ..exceptions import AnalysisError
+from ..obs import ledger as obs
 
 __all__ = [
     "BinnedCurve",
@@ -35,9 +41,6 @@ __all__ = [
     "standard_confounders",
 ]
 
-#: Floor applied to loss rates before ratio-based matching, so that two
-#: effectively loss-free lines are considered similar.
-_LOSS_MATCH_FLOOR = 1e-4
 #: Minimum users in a capacity bin for it to appear in a curve.
 _MIN_BIN_USERS = 5
 
@@ -67,7 +70,9 @@ def _market_value(value: float | None) -> float:
 CONFOUNDER_EXTRACTORS: dict[str, Callable[[UserRecord], float]] = {
     "capacity": lambda u: u.capacity_down_mbps,
     "latency": lambda u: u.latency_ms,
-    "loss": lambda u: max(u.loss_fraction, _LOSS_MATCH_FLOOR),
+    # The loss floor is owned by repro.core.matching (single source of
+    # truth, pinned relative to its ZERO_FLOOR — see LOSS_MATCH_FLOOR).
+    "loss": lambda u: max(u.loss_fraction, LOSS_MATCH_FLOOR),
     "price_of_access": lambda u: _market_value(u.price_of_access_usd),
     "upgrade_cost": lambda u: _market_value(u.upgrade_cost_usd_per_mbps),
 }
@@ -143,6 +148,21 @@ def matched_experiment(
     result = experiment.evaluate(
         PairedOutcome(outcome(pair.control), outcome(pair.treatment))
         for pair in matching.pairs
+    )
+    # Run-ledger accounting (no-op outside a traced run): eligibility
+    # attrition, matched pairs, and the paper's overall verdict tally.
+    obs.count("experiments.run")
+    obs.count(
+        "experiments.users_excluded",
+        (len(control) - len(eligible_control))
+        + (len(treatment) - len(eligible_treatment)),
+    )
+    obs.count("experiments.pairs", result.n_pairs)
+    obs.count("experiments.ties", result.n_ties)
+    obs.count(
+        "experiments.verdicts.rejects_null"
+        if result.rejects_null
+        else "experiments.verdicts.null_retained"
     )
     return MatchedExperimentResult(result=result, matching=matching)
 

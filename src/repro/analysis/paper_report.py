@@ -34,6 +34,8 @@ from ..core.timing import StageTimer, StageTiming, measure_stage
 from ..datasets.records import UserRecord
 from ..exceptions import AnalysisError
 from ..market.survey import PlanSurvey
+from ..obs import ledger as obs
+from ..obs.ledger import RunLedger, Span
 from . import capacity, characterization, longitudinal, price, quality, upgrade_cost
 from .price import Table4Result
 from .report import format_curve, format_experiment_row
@@ -330,6 +332,23 @@ def _run_fragment(key: str) -> _FragmentOutput:
             return None, str(exc)
 
     (text, error), timing = measure_stage(key, build_safe)
+    # Ledger accounting (no-op outside a traced run). The span carries
+    # the same duration as the profile timing, so ``--profile`` is a
+    # view over the ledger rather than a second clock.
+    ledger = obs.current()
+    if ledger is not None:
+        ledger.add_span(
+            Span(
+                name=f"report/{key}",
+                wall_s=timing.wall_s,
+                cpu_s=timing.cpu_s,
+            )
+        )
+    obs.count("report.fragments.run")
+    if error is not None:
+        obs.count("report.fragments.failed")
+    elif not text:
+        obs.count("report.fragments.empty")
     return _FragmentOutput(key=key, text=text, error=error, timing=timing)
 
 
@@ -361,6 +380,7 @@ def section_reports(
     *,
     jobs: int | None = 1,
     profiler: StageTimer | None = None,
+    ledger: RunLedger | None = None,
 ) -> list[str]:
     """One rendered block per paper section; sections whose data are
     insufficient (e.g. no Indian users) are reported as skipped rather
@@ -369,7 +389,9 @@ def section_reports(
     ``jobs`` fans the fragments out over a process pool (``None`` = one
     worker per CPU); the rendered text is byte-identical for any value.
     ``profiler`` collects one :class:`StageTiming` per fragment, in
-    report order.
+    report order. ``ledger`` accumulates the analysis stage's run-ledger
+    events (``report/<key>`` spans, experiment and matching counters),
+    merged in fragment-declaration order for any worker count.
     """
     if not dasu:
         raise AnalysisError("a report needs at least the Dasu dataset")
@@ -380,6 +402,7 @@ def section_reports(
         jobs=jobs,
         initializer=_init_fragment_worker,
         initargs=(dasu, fcc, survey),
+        ledger=ledger,
     )
     by_key = {out.key: out for out in outputs}
     if profiler is not None:
@@ -398,11 +421,12 @@ def full_report(
     *,
     jobs: int | None = 1,
     profiler: StageTimer | None = None,
+    ledger: RunLedger | None = None,
 ) -> str:
     """The complete paper-vs-measured report as one string.
 
-    See :func:`section_reports` for the ``jobs``/``profiler`` contract;
-    the report text is byte-identical for any worker count.
+    See :func:`section_reports` for the ``jobs``/``profiler``/``ledger``
+    contract; the report text is byte-identical for any worker count.
     """
     header = (
         "Reproduction report — Bischof, Bustamante & Stanojevic, "
@@ -414,7 +438,7 @@ def full_report(
     divider = "=" * 72
     blocks = [header]
     for section in section_reports(
-        dasu, fcc, survey, jobs=jobs, profiler=profiler
+        dasu, fcc, survey, jobs=jobs, profiler=profiler, ledger=ledger
     ):
         blocks.append(divider)
         blocks.append(section)

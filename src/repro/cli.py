@@ -31,6 +31,14 @@ resets/wraps, failed NDT runs, clock skew, gateway gaps — see
 rules over the dirty collections (:mod:`repro.datasets.sanitize`),
 printing the per-rule sanitization report. Both default off, in which
 case output is byte-identical to builds that predate the flags.
+
+``build --trace`` and ``report --trace`` write the run's observability
+artifacts (see :mod:`repro.obs`): ``trace.jsonl``, the run ledger's
+counters/gauges/spans in canonical order, and ``manifest.json``, the
+provenance manifest (config + hash, seed, code and library versions).
+Both are byte-identical for a fixed seed across any ``--jobs`` value,
+and the trace's ``sanitize.*`` counters always equal the persisted
+``sanitization.json``.
 """
 
 from __future__ import annotations
@@ -45,10 +53,12 @@ from .analysis import capacity, characterization, longitudinal, price, quality, 
 from .analysis.paper_report import full_report
 from .analysis.report import format_experiment_row
 from .core.executor import resolve_jobs
-from .core.timing import StageTimer, format_profile
+from .core.timing import format_profile
 from .datasets import WorldConfig, build_world
 from .datasets.cache import WorldCache, cache_key
 from .faults import FAULT_PROFILES, fault_profile
+from .obs.ledger import RunLedger
+from .obs.manifest import run_manifest, write_manifest
 from .datasets.io import (
     read_survey_csv,
     read_users_csv,
@@ -80,6 +90,20 @@ def _world_config(args: argparse.Namespace) -> WorldConfig:
     )
 
 
+def _write_trace(ledger: RunLedger, manifest: dict, out_dir: Path) -> None:
+    """Write the run's ledger stream and provenance manifest.
+
+    Both artifacts are byte-identical for a fixed seed across any
+    ``--jobs`` value: the ledger serializes in canonical event order
+    with durations excluded, and the manifest carries no scheduling
+    knobs or timestamps.
+    """
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "trace.jsonl").write_text(ledger.to_jsonl())
+    write_manifest(manifest, out_dir / "manifest.json")
+    print(f"trace written to {out_dir / 'trace.jsonl'}", file=sys.stderr)
+
+
 def _build(args: argparse.Namespace) -> int:
     jobs = resolve_jobs(args.jobs)
     out = Path(args.out)
@@ -88,13 +112,26 @@ def _build(args: argparse.Namespace) -> int:
     cache = WorldCache(args.cache_dir)
     key = cache_key(config)
     if not args.no_cache and cache.fetch_into(config, out):
+        # The entry's trace.jsonl (byte-identical to a fresh build's)
+        # rode along with the copy; only the manifest is recomputed.
         print(f"cache hit ({key[:12]}): reused cached world, "
               "skipping build")
         print(f"wrote cached dataset to {out}")
+        if args.trace:
+            if not (out / "trace.jsonl").exists():
+                # Entry predates the ledger: no build events are
+                # recoverable, so the stream is empty rather than wrong.
+                (out / "trace.jsonl").write_text(RunLedger().to_jsonl())
+            write_manifest(
+                run_manifest(config, command="build"),
+                out / "manifest.json",
+            )
+            print(f"trace written to {out / 'trace.jsonl'}", file=sys.stderr)
         return 0
     print(f"building world (seed={config.seed}, {config.n_dasu_users} "
           f"Dasu users, jobs={jobs})...", flush=True)
-    world = build_world(config, jobs=jobs)
+    ledger = RunLedger()
+    world = build_world(config, jobs=jobs, ledger=ledger)
     n_users = write_users_csv(world.all_users, out / "users.csv")
     n_plans = write_survey_csv(world.survey, out / "survey.csv")
     write_config_json(config, out / "config.json")
@@ -106,6 +143,8 @@ def _build(args: argparse.Namespace) -> int:
         )
         print(world.sanitization.format())
     print(f"wrote {n_users} user-period rows, {n_plans} plan rows to {out}")
+    if args.trace:
+        _write_trace(ledger, run_manifest(config, command="build"), out)
     if not args.no_cache:
         entry = cache.store(world)
         if entry is not None:
@@ -278,7 +317,11 @@ def _analyze(args: argparse.Namespace) -> int:
 
 def _report(args: argparse.Namespace) -> int:
     jobs = resolve_jobs(args.jobs)
+    ledger = RunLedger()
+    config = None
+    data_dir = None
     if args.data is not None:
+        data_dir = str(args.data)
         dasu, fcc, survey = _load(Path(args.data))
     else:
         # No dataset directory: render from the world cache, building
@@ -289,11 +332,15 @@ def _report(args: argparse.Namespace) -> int:
         world = None if args.no_cache else cache.load(config)
         if world is not None:
             print(f"cache hit ({key[:12]}): skipping build")
+            if world.ledger is not None:
+                # Fold the cached build's events into this run's
+                # ledger, so hit and miss runs trace identically.
+                ledger.merge(world.ledger)
         else:
             print(f"building world (seed={config.seed}, "
                   f"{config.n_dasu_users} Dasu users, jobs={jobs})...",
                   flush=True)
-            world = build_world(config, jobs=jobs)
+            world = build_world(config, jobs=jobs, ledger=ledger)
             if not args.no_cache:
                 cache.store(world)
         dasu, fcc, survey = world.dasu.users, world.fcc.users, world.survey
@@ -302,19 +349,28 @@ def _report(args: argparse.Namespace) -> int:
             # sanitization accounting goes to stderr so the report
             # itself stays byte-identical and pipeable.
             print(world.sanitization.format(), file=sys.stderr)
-    profiler = StageTimer() if args.profile else None
-    text = full_report(dasu, fcc, survey, jobs=jobs, profiler=profiler)
+    text = full_report(dasu, fcc, survey, jobs=jobs, ledger=ledger)
     if args.out:
         Path(args.out).write_text(text + "\n")
         print(f"report written to {args.out}")
     else:
         print(text)
-    if profiler is not None:
-        # The profile goes to stderr so the report itself stays
-        # byte-identical (and pipeable) whether or not it is requested.
+    if args.profile:
+        # The profile is a view over the ledger's report/* spans. It
+        # goes to stderr so the report itself stays byte-identical
+        # (and pipeable) whether or not it is requested.
         print(
-            format_profile(profiler.timings, title="analysis profile"),
+            format_profile(
+                ledger.stage_timings(prefix="report/"),
+                title="analysis profile",
+            ),
             file=sys.stderr,
+        )
+    if args.trace:
+        _write_trace(
+            ledger,
+            run_manifest(config, command="report", data_dir=data_dir),
+            Path(args.trace_dir),
         )
     return 0
 
@@ -369,6 +425,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--out", required=True, help="output directory")
     add_world_args(p_build)
     add_cache_args(p_build)
+    p_build.add_argument("--trace", action="store_true",
+                         help="write the run ledger (trace.jsonl) and "
+                              "provenance manifest (manifest.json) next "
+                              "to the dataset; byte-identical for any "
+                              "--jobs value")
     p_build.set_defaults(func=_build)
 
     p_analyze = sub.add_parser("analyze", help="run one paper experiment")
@@ -384,7 +445,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--out", help="write the report to a file")
     p_report.add_argument("--profile", action="store_true",
                           help="print per-fragment wall/CPU timings of the "
-                               "analysis stage to stderr")
+                               "analysis stage to stderr (a view over the "
+                               "run ledger)")
+    p_report.add_argument("--trace", action="store_true",
+                          help="write the run ledger (trace.jsonl) and "
+                               "provenance manifest (manifest.json) to "
+                               "--trace-dir; byte-identical for any "
+                               "--jobs value")
+    p_report.add_argument("--trace-dir", default=".",
+                          help="directory for --trace artifacts "
+                               "(default: current directory)")
     add_world_args(p_report)
     add_cache_args(p_report)
     p_report.set_defaults(func=_report)

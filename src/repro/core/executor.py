@@ -15,6 +15,13 @@ its work into self-describing task objects and runs them through
 
 Together these guarantee that a sharded run is bit-identical to a
 serial one for any worker count and any task chunking.
+
+Workers can additionally record observability events (counters, spans —
+see :mod:`repro.obs`): pass a :class:`~repro.obs.ledger.RunLedger` and
+every task runs under a fresh per-task ambient ledger whose events ride
+back with the result and are merged into the passed ledger **in
+task-submission order**, so the merged ledger is as worker-count
+invariant as the results themselves.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from typing import Callable, Iterable, Sequence, TypeVar
 import numpy as np
 
 from ..exceptions import ReproError
+from ..obs.ledger import RunLedger, scoped
 
 __all__ = ["resolve_jobs", "run_sharded", "stream_rng"]
 
@@ -60,6 +68,23 @@ def stream_rng(*path: int) -> np.random.Generator:
     return np.random.default_rng(np.random.SeedSequence(list(path)))
 
 
+class _LedgeredWorker:
+    """Picklable wrapper running a worker under a per-task ledger scope.
+
+    The task's events come back alongside its result, so the parent can
+    merge shard ledgers deterministically however the pool scheduled
+    the tasks.
+    """
+
+    def __init__(self, worker: Callable) -> None:
+        self.worker = worker
+
+    def __call__(self, task):
+        with scoped() as shard:
+            result = self.worker(task)
+        return result, shard
+
+
 def run_sharded(
     worker: Callable[[_TaskT], _ResultT],
     tasks: Iterable[_TaskT],
@@ -67,6 +92,7 @@ def run_sharded(
     jobs: int | None = 1,
     initializer: Callable[..., None] | None = None,
     initargs: Sequence = (),
+    ledger: RunLedger | None = None,
 ) -> list[_ResultT]:
     """Run ``worker`` over ``tasks``; results come back in task order.
 
@@ -74,17 +100,32 @@ def run_sharded(
     current process — the ``initializer`` is still invoked once, so the
     serial path exercises exactly the same worker code as the parallel
     one.
+
+    With a ``ledger``, each task runs under its own ambient
+    :class:`~repro.obs.ledger.RunLedger` scope (events recorded via
+    :func:`repro.obs.count` / :func:`repro.obs.span` land there), and
+    the per-task ledgers are merged into ``ledger`` in task-submission
+    order — deterministic for any worker count.
     """
     task_list = list(tasks)
     n_jobs = resolve_jobs(jobs)
+    call = worker if ledger is None else _LedgeredWorker(worker)
     if n_jobs == 1 or len(task_list) <= 1:
         if initializer is not None:
             initializer(*initargs)
-        return [worker(task) for task in task_list]
-    with ProcessPoolExecutor(
-        max_workers=min(n_jobs, len(task_list)),
-        initializer=initializer,
-        initargs=tuple(initargs),
-    ) as pool:
-        futures = [pool.submit(worker, task) for task in task_list]
-        return [future.result() for future in futures]
+        raw = [call(task) for task in task_list]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(n_jobs, len(task_list)),
+            initializer=initializer,
+            initargs=tuple(initargs),
+        ) as pool:
+            futures = [pool.submit(call, task) for task in task_list]
+            raw = [future.result() for future in futures]
+    if ledger is None:
+        return raw
+    results = []
+    for result, shard in raw:
+        ledger.merge(shard)
+        results.append(result)
+    return results

@@ -21,11 +21,14 @@ from typing import Callable, Generic, Sequence, TypeVar
 import numpy as np
 
 from ..exceptions import MatchingError
+from ..obs import ledger as obs
 
 __all__ = [
     "DEFAULT_CALIPER",
+    "LOSS_MATCH_FLOOR",
     "MatchedPair",
     "MatchingSummary",
+    "ZERO_FLOOR",
     "caliper_compatible",
     "candidate_chunk_rows",
     "match_pairs",
@@ -40,6 +43,20 @@ DEFAULT_CALIPER = 0.25
 #: Values at or below this magnitude are treated as "zero" for ratio
 #: comparisons (e.g. unmeasurably small packet-loss rates).
 ZERO_FLOOR = 1e-6
+
+#: Floor applied to *loss rates* before they enter the matching space, so
+#: that two effectively loss-free lines count as similar. This is the
+#: single source of truth for the loss floor — the confounder extractors
+#: in :mod:`repro.analysis.common` import it from here. It must dominate
+#: :data:`ZERO_FLOOR`: the matcher floors every confounder at
+#: ``ZERO_FLOOR`` as a last resort, and a loss floor below it would be
+#: silently overridden, changing caliper semantics for near-zero loss.
+LOSS_MATCH_FLOOR = 1e-4
+
+assert LOSS_MATCH_FLOOR >= ZERO_FLOOR, (
+    "the loss floor must dominate the generic zero floor, or the "
+    "matcher's own flooring would silently change caliper semantics"
+)
 
 #: Memory budget for one candidate-enumeration block, in float64 cells of
 #: the (chunk, treatment, confounder) difference array (~32 MB).
@@ -69,9 +86,20 @@ def caliper_compatible(a: float, b: float, caliper: float = DEFAULT_CALIPER) -> 
     symmetrically: ``max(a, b) <= (1 + caliper) * min(a, b)``, after flooring
     both values at :data:`ZERO_FLOOR` so that pairs of effectively-zero
     values (e.g. two loss-free lines) are compatible.
+
+    NaN confounders are rejected with :class:`MatchingError` rather than
+    silently falling through the comparisons: a NaN here means an
+    upstream eligibility filter failed (missing market covariates
+    surface as NaN — see :func:`repro.analysis.common._market_value` —
+    and must be excluded *before* matching).
     """
     if caliper <= 0:
         raise MatchingError(f"caliper must be positive, got {caliper}")
+    if math.isnan(a) or math.isnan(b):
+        raise MatchingError(
+            f"confounders must not be NaN, got {a}, {b} "
+            "(exclude users with missing covariates before matching)"
+        )
     if a < 0 or b < 0:
         raise MatchingError(f"confounders must be non-negative, got {a}, {b}")
     lo = max(min(a, b), ZERO_FLOOR)
@@ -161,11 +189,22 @@ def match_pairs(
     """
     if not confounders:
         raise MatchingError("at least one confounder is required")
+
+    def _accounted(summary: MatchingSummary, n_candidates: int) -> MatchingSummary:
+        # Run-ledger accounting (no-op outside a traced run): pool
+        # sizes, caliper-compatible candidates, and accepted pairs.
+        obs.count("matching.runs")
+        obs.count("matching.pool.control", summary.n_control)
+        obs.count("matching.pool.treatment", summary.n_treatment)
+        obs.count("matching.candidates", n_candidates)
+        obs.count("matching.pairs", summary.n_matched)
+        return summary
+
     summary_empty = MatchingSummary(
         pairs=(), n_control=len(control), n_treatment=len(treatment), caliper=caliper
     )
     if not control or not treatment:
-        return summary_empty
+        return _accounted(summary_empty, 0)
 
     log_c = _confounder_matrix(control, confounders)
     log_t = _confounder_matrix(treatment, confounders)
@@ -188,7 +227,7 @@ def match_pairs(
             ti_parts.append(cols)
             dist_parts.append(diff.sum(axis=2)[rows, cols])
     if not ci_parts:
-        return summary_empty
+        return _accounted(summary_empty, 0)
     ci = np.concatenate(ci_parts)
     ti = np.concatenate(ti_parts)
     pair_distance = np.concatenate(dist_parts)
@@ -209,9 +248,12 @@ def match_pairs(
         pairs.append(
             MatchedPair(control[c], treatment[t], float(pair_distance[idx]))
         )
-    return MatchingSummary(
-        pairs=tuple(pairs),
-        n_control=len(control),
-        n_treatment=len(treatment),
-        caliper=caliper,
+    return _accounted(
+        MatchingSummary(
+            pairs=tuple(pairs),
+            n_control=len(control),
+            n_treatment=len(treatment),
+            caliper=caliper,
+        ),
+        int(ci.size),
     )

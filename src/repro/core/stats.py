@@ -25,6 +25,7 @@ __all__ = [
     "ecdf",
     "log_binomial_pmf",
     "mean_confidence_interval",
+    "normal_quantile",
     "pearson_r",
     "percentile",
     "regularized_incomplete_beta",
@@ -34,6 +35,77 @@ __all__ = [
 
 #: z value for a two-sided 95% normal confidence interval.
 Z_95 = 1.959963984540054
+
+# Coefficients of Acklam's rational approximation to the inverse normal
+# CDF, the initial guess that one Halley step below polishes to full
+# double precision.
+_ACKLAM_A = (
+    -3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+    1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00,
+)
+_ACKLAM_B = (
+    -5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+    6.680131188771972e01, -1.328068155288572e01,
+)
+_ACKLAM_C = (
+    -7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+    -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00,
+)
+_ACKLAM_D = (
+    7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+    3.754408661907416e00,
+)
+_ACKLAM_LOW = 0.02425
+
+
+def normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF ``Phi^{-1}(p)`` for ``p`` in (0, 1).
+
+    Acklam's rational approximation refined with one Halley step against
+    the exact CDF (via ``erfc``), giving near machine-precision quantiles
+    over the whole open interval — accurate z values for *any*
+    confidence level, not just the paper's 95%.
+    """
+    if not 0.0 < p < 1.0:
+        raise AnalysisError(f"quantile probability must be in (0, 1), got {p}")
+    a, b, c, d = _ACKLAM_A, _ACKLAM_B, _ACKLAM_C, _ACKLAM_D
+    if p < _ACKLAM_LOW:
+        q = math.sqrt(-2.0 * math.log(p))
+        x = (
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    elif p <= 1.0 - _ACKLAM_LOW:
+        q = p - 0.5
+        r = q * q
+        x = (
+            ((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]
+        ) * q / (
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+        )
+    else:
+        q = math.sqrt(-2.0 * math.log1p(-p))
+        x = -(
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    # One Halley step: e = Phi(x) - p, u = e / phi(x).
+    e = 0.5 * math.erfc(-x / math.sqrt(2.0)) - p
+    u = e * math.sqrt(2.0 * math.pi) * math.exp(x * x / 2.0)
+    return x - u / (1.0 + x * u / 2.0)
+
+
+def _z_for_level(level: float) -> float:
+    """Two-sided normal z for a confidence level in (0, 1).
+
+    The paper's 95% level returns the :data:`Z_95` constant *exactly*,
+    keeping historical outputs (and the golden report) byte-stable.
+    """
+    if not 0.0 < level < 1.0:
+        raise AnalysisError(
+            f"confidence level must be in (0, 1), got {level}"
+        )
+    if level == 0.95:
+        return Z_95
+    return normal_quantile(0.5 + level / 2.0)
 
 
 def log_binomial_pmf(k: int, n: int, p: float) -> float:
@@ -226,19 +298,20 @@ def mean_confidence_interval(
 ) -> ConfidenceInterval:
     """Normal-approximation confidence interval for the mean.
 
-    Matches the error bars of the paper's figures (95% CI of the mean).
-    A single observation yields a degenerate interval at the value.
+    The default level matches the error bars of the paper's figures
+    (95% CI of the mean); any level in (0, 1) is supported via
+    :func:`normal_quantile`. A single observation yields a degenerate
+    interval at the value.
     """
     arr = np.asarray(values, dtype=float)
     if arr.size == 0:
         raise AnalysisError("cannot compute a confidence interval of nothing")
-    if level != 0.95:
-        raise AnalysisError("only the 95% level used by the paper is supported")
+    z = _z_for_level(level)
     center = float(arr.mean())
     if arr.size == 1:
         return ConfidenceInterval(center, center, center, level)
     sem = float(arr.std(ddof=1) / math.sqrt(arr.size))
-    return ConfidenceInterval(center, center - Z_95 * sem, center + Z_95 * sem, level)
+    return ConfidenceInterval(center, center - z * sem, center + z * sem, level)
 
 
 def wilson_interval(
@@ -248,15 +321,14 @@ def wilson_interval(
 
     Used to put uncertainty bands around the "% H holds" figures of the
     natural experiments; unlike the normal approximation it behaves at
-    the edges (0%, 100%) and for small pair counts.
+    the edges (0%, 100%) and for small pair counts. Any level in (0, 1)
+    is supported via :func:`normal_quantile`.
     """
     if n_trials <= 0 or n_successes < 0 or n_successes > n_trials:
         raise AnalysisError(
             f"invalid counts: {n_successes} of {n_trials}"
         )
-    if level != 0.95:
-        raise AnalysisError("only the 95% level is supported")
-    z = Z_95
+    z = _z_for_level(level)
     p_hat = n_successes / n_trials
     denom = 1.0 + z * z / n_trials
     center = (p_hat + z * z / (2 * n_trials)) / denom

@@ -9,7 +9,10 @@ picklable — workers return them alongside their results.
 
 ``repro report --profile`` renders the collected timings with
 :func:`format_profile`; the format is documented in
-``docs/METHODOLOGY.md``.
+``docs/METHODOLOGY.md``. The timing layer is the span substrate of the
+run ledger (:mod:`repro.obs`): :meth:`repro.obs.ledger.RunLedger.stage_timings`
+projects ledger spans back onto :class:`StageTiming` rows, so the
+profile table is a view over the ledger.
 """
 
 from __future__ import annotations
@@ -94,17 +97,21 @@ def measure_stage(name: str, func, *args, **kwargs):
 def format_profile(
     timings: Sequence[StageTiming], title: str = "analysis profile"
 ) -> str:
-    """Render timings as an aligned table, slowest (by wall) first.
+    """Render timings as an aligned table, one row per stage name.
 
     One row per stage — ``stage  wall(s)  cpu(s)`` — followed by a total
-    row summing both columns. Stage wall seconds are measured inside the
-    process that ran the stage, so under ``--jobs N`` the total can
-    exceed the elapsed time (it is the amount of work done, not the
-    time you waited).
+    row summing both columns. Rows are sorted by stage *name*, never by
+    duration: durations vary run to run and (under a process pool) with
+    scheduling, so a duration sort would shuffle the table across
+    ``--jobs`` values. With the timing columns masked, profiles of the
+    same run are byte-identical for any worker count. Stage wall
+    seconds are measured inside the process that ran the stage, so
+    under ``--jobs N`` the total can exceed the elapsed time (it is the
+    amount of work done, not the time you waited).
     """
     lines = [title]
     width = max([len(t.name) for t in timings], default=4)
-    for t in sorted(timings, key=lambda t: t.wall_s, reverse=True):
+    for t in sorted(timings, key=lambda t: (t.name, t.wall_s, t.cpu_s)):
         lines.append(f"  {t.name:<{width}}  wall {t.wall_s:8.3f} s  cpu {t.cpu_s:8.3f} s")
     total_wall = sum(t.wall_s for t in timings)
     total_cpu = sum(t.cpu_s for t in timings)

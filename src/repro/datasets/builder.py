@@ -45,6 +45,8 @@ from ..measurement.gateway import FccGateway
 from ..measurement.ndt import NdtClient
 from ..measurement.web_latency import WebLatencyProber
 from ..network.geo import NetworkPlanner, sample_cities
+from ..obs import ledger as obs
+from ..obs.ledger import RunLedger, scoped
 from ..network.link import AccessLink, provision_link
 from ..network.path import NetworkPath, build_path
 from ..network.technology import sample_technology
@@ -473,8 +475,10 @@ class _CountrySimulator:
     def simulate_user(
         self, user_id: str
     ) -> tuple[UserRecord, LatentUser, tuple[UsageTrace, ...]] | None:
+        obs.count("build.households.simulated")
         if self.injector is not None and self.injector.household_lost():
             # Churn: the household vanished before producing any data.
+            obs.count("build.households.lost_to_churn")
             return None
         planner = NetworkPlanner(
             self.profile.name,
@@ -490,6 +494,7 @@ class _CountrySimulator:
         household_market = self._household_market()
         drawn = self._draw_subscriber(user_id, household_market)
         if drawn is None:
+            obs.count("build.households.no_subscription")
             return None
         user, plan = drawn
         original_user = user
@@ -553,6 +558,7 @@ class _CountrySimulator:
                 network = planner.switched_network(network)
 
         if not observations:
+            obs.count("build.households.no_observations")
             return None
 
         web_latency = None
@@ -691,27 +697,30 @@ def _simulate_chunk(context: _BuildContext, spec: _ChunkSpec) -> _ChunkResult:
     cities = context.cities_for(spec.stream, spec.country_index)
     report = SanitizationReport() if config.sanitize else None
     results: _ChunkUsers = []
-    for user_index in range(spec.start, spec.start + spec.count):
-        rng = _user_rng(
-            config.seed, spec.stream, spec.country_index, user_index
-        )
-        injector = None
-        if config.faults is not None:
-            injector = FaultInjector(
-                config.faults,
-                _fault_rng(
-                    config.seed, spec.stream, spec.country_index, user_index
-                ),
+    with obs.span(
+        f"build/chunk/{spec.source}/{spec.country}/{spec.start:05d}"
+    ):
+        for user_index in range(spec.start, spec.start + spec.count):
+            rng = _user_rng(
+                config.seed, spec.stream, spec.country_index, user_index
             )
-        simulator = _CountrySimulator(
-            profile, market, config, rng, source=spec.source, cities=cities,
-            injector=injector, report=report,
-        )
-        outcome = simulator.simulate_user(
-            f"{spec.source}-{spec.country}-{user_index:05d}"
-        )
-        if outcome is not None:
-            results.append(outcome)
+            injector = None
+            if config.faults is not None:
+                injector = FaultInjector(
+                    config.faults,
+                    _fault_rng(
+                        config.seed, spec.stream, spec.country_index, user_index
+                    ),
+                )
+            simulator = _CountrySimulator(
+                profile, market, config, rng, source=spec.source, cities=cities,
+                injector=injector, report=report,
+            )
+            outcome = simulator.simulate_user(
+                f"{spec.source}-{spec.country}-{user_index:05d}"
+            )
+            if outcome is not None:
+                results.append(outcome)
     return results, report
 
 
@@ -734,12 +743,19 @@ def build_world(
     *,
     jobs: int | None = 1,
     chunk_size: int | None = None,
+    ledger: RunLedger | None = None,
 ) -> World:
     """Build a complete synthetic world from a configuration.
 
     ``jobs`` shards the per-household simulation across that many worker
     processes (``None`` = one per CPU); the result is bit-identical for
     every ``jobs`` and ``chunk_size`` value.
+
+    The build accounts for itself in a :class:`~repro.obs.ledger.
+    RunLedger` (pass one to accumulate across stages, or let the builder
+    create one) attached to the returned world as ``world.ledger``.
+    Counters add and spans sort canonically, so the serialized ledger is
+    byte-identical for every ``jobs`` value, like the world itself.
     """
     if config is None:
         config = WorldConfig()
@@ -747,11 +763,18 @@ def build_world(
     if chunk_size is not None and chunk_size < 1:
         raise DatasetError("chunk size must be a positive integer")
     size = chunk_size if chunk_size is not None else _DEFAULT_CHUNK_SIZE
+    if ledger is None:
+        ledger = RunLedger()
 
     context = _BuildContext(config)
     specs = _plan_chunks(config, context.profiles, size)
     if n_jobs == 1:
-        chunk_results = [_simulate_chunk(context, spec) for spec in specs]
+        # Serial path: record straight into the run ledger (the ambient
+        # scope makes worker-side instrumentation land there), chunk by
+        # chunk in spec order — the same order the parallel path merges
+        # shard ledgers in.
+        with scoped(ledger):
+            chunk_results = [_simulate_chunk(context, spec) for spec in specs]
     else:
         chunk_results = run_sharded(
             _worker_chunk,
@@ -759,6 +782,7 @@ def build_world(
             jobs=n_jobs,
             initializer=_worker_init,
             initargs=(config,),
+            ledger=ledger,
         )
 
     dasu_users: list[UserRecord] = []
@@ -794,6 +818,20 @@ def build_world(
         }
         ground_truth = {k: v for k, v in ground_truth.items() if k in kept}
         traces = {k: v for k, v in traces.items() if k in kept}
+        # Bridge the *final* report (sample- and record-level rules both
+        # folded in) into the ledger, so the trace's ``sanitize.*``
+        # counters equal the persisted ``sanitization.json`` exactly.
+        for name, value in sorted(report.ledger_counters().items()):
+            ledger.count(name, value)
+
+    ledger.count("build.chunks", len(specs))
+    ledger.count("build.users.dasu", len(dasu_users))
+    ledger.count("build.users.fcc", len(fcc_users))
+    ledger.count(
+        "build.periods.kept",
+        sum(len(u.observations) for u in dasu_users)
+        + sum(len(u.observations) for u in fcc_users),
+    )
 
     return World(
         config=config,
@@ -804,4 +842,5 @@ def build_world(
         ground_truth=ground_truth,
         traces=traces,
         sanitization=report,
+        ledger=ledger,
     )

@@ -37,6 +37,7 @@ from .._version import __version__
 from ..exceptions import ReproError
 from ..market.countries import build_profiles
 from ..market.survey import PlanSurvey
+from ..obs.ledger import RunLedger
 from .builder import build_world
 from .io import (
     config_payload,
@@ -64,6 +65,12 @@ CACHE_FORMAT_VERSION = 1
 _ENTRY_FILES = ("users.csv", "survey.csv", "config.json")
 #: Present only in entries built with ``config.sanitize`` enabled.
 _REPORT_FILE = "sanitization.json"
+#: The build-stage run ledger (see :mod:`repro.obs`), serialized as the
+#: same JSONL stream ``build --trace`` writes. Entries stored since the
+#: ledger existed always carry it (the package-version component of the
+#: cache key invalidated older entries); its absence is tolerated for
+#: hand-assembled worlds stored without one.
+_TRACE_FILE = "trace.jsonl"
 
 
 def cache_key(config: WorldConfig) -> str:
@@ -94,6 +101,7 @@ def _world_from_records(
     users: list[UserRecord],
     survey: PlanSurvey,
     sanitization: SanitizationReport | None = None,
+    ledger: RunLedger | None = None,
 ) -> World:
     """Reassemble a records-only :class:`World` from persisted datasets."""
     profiles = build_profiles(
@@ -111,6 +119,7 @@ def _world_from_records(
         ground_truth={},
         traces={},
         sanitization=sanitization,
+        ledger=ledger,
     )
 
 
@@ -148,10 +157,14 @@ class WorldCache:
                 report = SanitizationReport.from_payload(
                     json.loads((entry / _REPORT_FILE).read_text())
                 )
+            ledger = None
+            trace_path = entry / _TRACE_FILE
+            if trace_path.exists():
+                ledger = RunLedger.from_jsonl(trace_path.read_text())
         except (ReproError, OSError, ValueError, KeyError, TypeError):
             # Unreadable, truncated, or schema-mismatched entry: a miss.
             return None
-        return _world_from_records(config, users, survey, report)
+        return _world_from_records(config, users, survey, report, ledger)
 
     def fetch_into(self, config: WorldConfig, out_dir: str | Path) -> bool:
         """Copy a validated entry's raw files into ``out_dir``.
@@ -165,6 +178,8 @@ class WorldCache:
         out.mkdir(parents=True, exist_ok=True)
         entry = self.entry_dir(config)
         names = _ENTRY_FILES + ((_REPORT_FILE,) if config.sanitize else ())
+        if (entry / _TRACE_FILE).exists():
+            names = names + (_TRACE_FILE,)
         for name in names:
             shutil.copyfile(entry / name, out / name)
         return True
@@ -192,6 +207,8 @@ class WorldCache:
                         sort_keys=True,
                     )
                 )
+            if world.ledger is not None:
+                (staging / _TRACE_FILE).write_text(world.ledger.to_jsonl())
             entry = self.entry_dir(world.config)
             if entry.exists():
                 shutil.rmtree(entry)

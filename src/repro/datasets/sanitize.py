@@ -119,6 +119,29 @@ class SanitizationReport:
     def total_dropped(self) -> int:
         return sum(s.dropped for s in self.rules.values())
 
+    def ledger_counters(self) -> dict[str, int]:
+        """The report as run-ledger counters (``sanitize.*`` namespace).
+
+        This is the bridge between the sanitization stage and the
+        observability layer: the builder records exactly these counters
+        into the run ledger, so a ``--trace`` stream's ``sanitize.*``
+        counts always equal the :class:`SanitizationReport` the same
+        build printed and persisted (``sanitization.json``).
+        """
+        counters = {
+            "sanitize.users.in": self.users_in,
+            "sanitize.users.kept": self.users_kept,
+            "sanitize.periods.in": self.periods_in,
+            "sanitize.periods.kept": self.periods_kept,
+            "sanitize.samples.in": self.samples_in,
+            "sanitize.samples.kept": self.samples_kept,
+        }
+        for name, stats in self.rules.items():
+            counters[f"sanitize.rule.{name}.examined"] = stats.examined
+            counters[f"sanitize.rule.{name}.repaired"] = stats.repaired
+            counters[f"sanitize.rule.{name}.dropped"] = stats.dropped
+        return counters
+
     def to_payload(self) -> dict:
         """A JSON-serializable snapshot (inverse of :meth:`from_payload`)."""
         payload = dataclasses.asdict(self)

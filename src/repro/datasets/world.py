@@ -19,6 +19,7 @@ from ..exceptions import DatasetError
 from ..faults.config import FaultConfig
 from ..market.countries import CountryProfile
 from ..market.survey import PlanSurvey
+from ..obs.ledger import RunLedger
 from .records import UserRecord
 from .sanitize import SanitizationReport
 
@@ -121,6 +122,11 @@ class World:
     sanitization: SanitizationReport | None = field(
         default=None, repr=False, compare=False
     )
+    #: The build-stage run ledger (counters + spans, see
+    #: :mod:`repro.obs`); attached by :func:`~repro.datasets.builder.
+    #: build_world`, ``None`` for worlds assembled by hand or loaded
+    #: from pre-ledger cache entries.
+    ledger: RunLedger | None = field(default=None, repr=False, compare=False)
 
     @property
     def all_users(self) -> tuple[UserRecord, ...]:

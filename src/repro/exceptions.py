@@ -41,3 +41,7 @@ class DatasetError(ReproError, ValueError):
 
 class AnalysisError(ReproError, ValueError):
     """An analysis routine received data it cannot work with."""
+
+
+class LedgerError(ReproError, ValueError):
+    """A run-ledger event or merge was invalid (see :mod:`repro.obs`)."""

@@ -29,6 +29,7 @@ import dataclasses
 import numpy as np
 
 from ..measurement.ndt import NdtResult
+from ..obs import ledger as obs
 from ..units import UINT32_WRAP, bytes_to_megabits
 from .config import FaultConfig
 
@@ -65,13 +66,17 @@ class FaultInjector:
 
     def household_lost(self) -> bool:
         """Whether this household vanishes before producing any data."""
-        return bool(self._rng.random() < self.config.household_loss_rate)
+        lost = bool(self._rng.random() < self.config.household_loss_rate)
+        if lost:
+            obs.count("faults.households.lost")
+        return lost
 
     def perturb_panel(self, entry_year: int, exit_year: int) -> tuple[int, int]:
         """Possibly cut a household's panel membership short."""
         if self._rng.random() < self.config.attrition_rate:
             span = exit_year - entry_year
             exit_year = entry_year + int(self._rng.integers(0, span + 1))
+            obs.count("faults.panel.attrition")
         return entry_year, exit_year
 
     # -- sample-level pathologies ----------------------------------------
@@ -110,9 +115,11 @@ class FaultInjector:
 
         wrapped = self._rng.random(n) < cfg.counter_wrap_rate
         rates[wrapped] += wrap_quantum_mbps(interval_s)
+        obs.count("faults.samples.wrapped", int(np.sum(wrapped)))
 
         reset = self._rng.random(n) < cfg.counter_reset_rate
         rates[reset] = RESET_SENTINEL_MBPS
+        obs.count("faults.samples.reset", int(np.sum(reset)))
         if up_rates is not None:
             # The same reboot voids both directions' counters.
             up_rates[reset] = RESET_SENTINEL_MBPS
@@ -145,6 +152,7 @@ class FaultInjector:
             keep[start : start + length] = False
             if not np.any(keep):
                 keep[0] = True
+            obs.count("faults.samples.gap_dropped", int(np.sum(~keep)))
             rates = rates[keep]
             bt_active = bt_active[keep]
             hours = hours[keep]
@@ -162,6 +170,7 @@ class FaultInjector:
         cfg = self.config
         n = int(rates.size)
         duplicated = self._rng.random(n) < cfg.sample_duplicate_rate
+        obs.count("faults.samples.duplicated", int(np.sum(duplicated)))
         if np.any(duplicated):
             repeats = np.where(duplicated, 2, 1)
             rates = np.repeat(rates, repeats)
@@ -171,6 +180,7 @@ class FaultInjector:
                 up_rates = np.repeat(up_rates, repeats)
             n = int(rates.size)
         dropped = self._rng.random(n) < cfg.sample_drop_rate
+        obs.count("faults.samples.dropped", int(np.sum(dropped)))
         if np.any(dropped):
             keep = ~dropped
             rates = rates[keep]
@@ -191,6 +201,8 @@ class FaultInjector:
         failed = self._rng.random(n) < cfg.ndt_failure_rate
         truncated = self._rng.random(n) < cfg.ndt_truncation_rate
         factors = self._rng.uniform(0.15, 0.6, n)
+        obs.count("faults.ndt.failed", int(np.sum(failed)))
+        obs.count("faults.ndt.truncated", int(np.sum(truncated & ~failed)))
         out: list[NdtResult] = []
         for i, test in enumerate(tests):
             if failed[i]:

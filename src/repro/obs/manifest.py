@@ -1,0 +1,85 @@
+"""Per-run manifests: what exactly did this run execute?
+
+A manifest is the provenance half of the observability layer: where the
+:class:`~repro.obs.ledger.RunLedger` records what the pipeline *did*
+(counters, spans), the manifest records what it *was* — the full world
+configuration and its content hash, the generator code version, the
+seed, the fault/sanitization settings, and the library versions the run
+executed under. M-Lab-scale studies treat this record as first-class;
+``repro build/report --trace`` writes it as ``manifest.json`` next to
+the ledger stream.
+
+Manifests deliberately exclude scheduling knobs (worker counts, cache
+directories) and wall-clock timestamps: two runs that compute the same
+world and report must produce **byte-identical manifests**, whatever
+hardware or parallelism executed them.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+import numpy as np
+
+from .._version import __version__
+
+__all__ = ["MANIFEST_FORMAT_VERSION", "run_manifest", "write_manifest"]
+
+#: Bump when the manifest schema changes.
+MANIFEST_FORMAT_VERSION = 1
+
+
+def run_manifest(
+    config=None,
+    *,
+    command: str,
+    data_dir: str | None = None,
+) -> dict:
+    """Assemble the provenance manifest of one CLI run.
+
+    ``config`` is the :class:`~repro.datasets.world.WorldConfig` the run
+    built or loaded, or ``None`` when the run analyzed a pre-existing
+    dataset directory (``report --data``), in which case ``data_dir``
+    names it and the config block is ``None``.
+    """
+    # Imported lazily: datasets.cache imports the builder, which imports
+    # the ledger — a module-level import here would cycle.
+    from ..datasets.cache import cache_key
+    from ..datasets.io import config_payload
+
+    config_block = None
+    config_hash = None
+    seed = None
+    faults = None
+    sanitize = None
+    if config is not None:
+        payload = config_payload(config)
+        config_block = payload
+        config_hash = cache_key(config)
+        seed = config.seed
+        faults = payload.get("faults")
+        sanitize = bool(config.sanitize)
+    return {
+        "manifest_format": MANIFEST_FORMAT_VERSION,
+        "command": command,
+        "code_version": __version__,
+        "config": config_block,
+        "config_hash": config_hash,
+        "seed": seed,
+        "faults": faults,
+        "sanitize": sanitize,
+        "data_dir": data_dir,
+        "libraries": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+    }
+
+
+def write_manifest(manifest: dict, path: str | Path) -> None:
+    """Persist a manifest with a stable key order (byte-reproducible)."""
+    Path(path).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )

@@ -12,7 +12,9 @@ from repro.analysis.common import (
     matched_experiment,
     standard_confounders,
 )
-from repro.exceptions import AnalysisError
+from repro.core.matching import match_pairs
+from repro.exceptions import AnalysisError, MatchingError
+from repro.obs.ledger import scoped
 from tests.datasets.test_records import make_record
 
 
@@ -104,6 +106,82 @@ class TestZeroValuedMarketConfounders:
             outcome=demand_outcome("mean", include_bt=False),
         )
         assert result.matching.n_matched == 3
+
+    def test_missing_market_value_excluded_before_matching(self):
+        # A None market covariate surfaces as NaN (_market_value) and
+        # must be filtered by the eligibility pass — the matcher itself
+        # refuses NaN, so reaching it would raise, not mis-pair.
+        control = [
+            make_record(
+                user_id=f"c{i}",
+                price_of_access_usd=(None if i == 0 else 10.0),
+            )
+            for i in range(4)
+        ]
+        treatment = [
+            make_record(user_id=f"t{i}", price_of_access_usd=10.0)
+            for i in range(4)
+        ]
+        result = matched_experiment(
+            "missing price",
+            control,
+            treatment,
+            confounders=("price_of_access",),
+            outcome=demand_outcome("peak", include_bt=False),
+        )
+        assert result.matching.n_control == 3
+        assert result.matching.n_matched == 3
+
+    def test_nan_reaching_match_pairs_raises(self):
+        # The backstop behind the filter above: NaN confounders are a
+        # caller bug and must fail loudly inside the matcher.
+        control = [make_record(user_id="c0", price_of_access_usd=None)]
+        treatment = [make_record(user_id="t0", price_of_access_usd=10.0)]
+        with pytest.raises(MatchingError):
+            match_pairs(
+                control,
+                treatment,
+                standard_confounders(("price_of_access",)),
+            )
+
+    def test_ledger_counters_recorded(self):
+        control = [
+            make_record(
+                user_id=f"c{i}",
+                price_of_access_usd=(None if i == 0 else 10.0),
+            )
+            for i in range(4)
+        ]
+        treatment = [
+            make_record(user_id=f"t{i}", price_of_access_usd=10.0)
+            for i in range(4)
+        ]
+        with scoped() as ledger:
+            matched_experiment(
+                "accounted",
+                control,
+                treatment,
+                confounders=("price_of_access",),
+                outcome=demand_outcome("peak", include_bt=False),
+            )
+        assert ledger.counters["experiments.run"] == 1
+        assert ledger.counters["experiments.users_excluded"] == 1
+        # Identical records tie on the outcome, so pairs + ties covers
+        # every matched pair regardless of how the sign test splits them.
+        assert (
+            ledger.counters.get("experiments.pairs", 0)
+            + ledger.counters.get("experiments.ties", 0)
+            == 3
+        )
+        assert ledger.counters["matching.runs"] == 1
+        assert ledger.counters["matching.pool.control"] == 3
+        assert ledger.counters["matching.pool.treatment"] == 4
+        assert ledger.counters["matching.pairs"] == 3
+        verdicts = (
+            ledger.counters.get("experiments.verdicts.rejects_null", 0)
+            + ledger.counters.get("experiments.verdicts.null_retained", 0)
+        )
+        assert verdicts == 1
 
 
 class TestBinnedDemandCurve:

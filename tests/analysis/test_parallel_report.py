@@ -5,11 +5,14 @@ builder; these tests pin the determinism guarantee — the rendered report
 is byte-identical for any ``jobs`` — and the profiling contract.
 """
 
+import re
+
 import pytest
 
 from repro.analysis.paper_report import full_report, section_reports
-from repro.core.timing import StageTimer
+from repro.core.timing import StageTimer, format_profile
 from repro.exceptions import ReproError
+from repro.obs.ledger import RunLedger
 
 
 @pytest.fixture(scope="module")
@@ -70,3 +73,59 @@ class TestProfiler:
         assert [t.name for t in serial.timings] == [
             t.name for t in parallel.timings
         ]
+
+
+def _masked_profile(ledger: RunLedger) -> str:
+    """The rendered --profile table with every duration blanked out —
+    what must be byte-identical across worker counts."""
+    table = format_profile(
+        ledger.stage_timings(prefix="report/"), title="analysis profile"
+    )
+    return re.sub(r"[0-9][0-9.]*", "#", table)
+
+
+class TestReportLedger:
+    def test_ledger_byte_identical_across_jobs(self, small_world):
+        ledgers = []
+        for jobs in (1, 4):
+            ledger = RunLedger()
+            full_report(
+                small_world.dasu.users,
+                small_world.fcc.users,
+                small_world.survey,
+                jobs=jobs,
+                ledger=ledger,
+            )
+            ledgers.append(ledger)
+        assert ledgers[0].to_jsonl() == ledgers[1].to_jsonl()
+
+    def test_spans_cover_every_fragment(self, small_world):
+        ledger = RunLedger()
+        full_report(
+            small_world.dasu.users,
+            small_world.fcc.users,
+            small_world.survey,
+            jobs=2,
+            ledger=ledger,
+        )
+        names = {s.name for s in ledger.spans}
+        for key in ("fig1", "table1", "fig6", "table7", "fig12"):
+            assert f"report/{key}" in names
+        assert ledger.counters["report.fragments.run"] == len(ledger.spans)
+
+    def test_experiment_counters_recorded(self, small_world):
+        ledger = RunLedger()
+        full_report(small_world.dasu.users, jobs=2, ledger=ledger)
+        assert ledger.counters["experiments.run"] > 0
+        assert ledger.counters["matching.runs"] > 0
+
+    def test_masked_profile_byte_identical_across_jobs(self, small_world):
+        # Satellite: the --profile table once printed rows in wall-time
+        # order, which made its bytes depend on scheduling noise. With
+        # the name-sorted table, only the durations may differ.
+        tables = []
+        for jobs in (1, 4):
+            ledger = RunLedger()
+            full_report(small_world.dasu.users, jobs=jobs, ledger=ledger)
+            tables.append(_masked_profile(ledger))
+        assert tables[0] == tables[1]

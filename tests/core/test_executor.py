@@ -1,0 +1,77 @@
+"""Deterministic sharded execution, with and without a run ledger."""
+
+import pytest
+
+from repro.core.executor import resolve_jobs, run_sharded
+from repro.exceptions import ReproError
+from repro.obs import ledger as obs
+from repro.obs.ledger import RunLedger
+
+
+def _square(n: int) -> int:
+    return n * n
+
+
+def _square_and_count(n: int) -> int:
+    # Records through the ambient ledger exactly like builder workers do.
+    obs.count("tasks.run")
+    obs.count("tasks.total_input", n)
+    with obs.span(f"task/{n:03d}", shard=str(n)):
+        pass
+    return n * n
+
+
+class TestResolveJobs:
+    def test_none_means_cpu_count(self):
+        assert resolve_jobs(None) >= 1
+
+    def test_positive_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(ReproError):
+            resolve_jobs(bad)
+
+
+class TestRunSharded:
+    def test_results_in_task_order(self):
+        assert run_sharded(_square, [3, 1, 2], jobs=2) == [9, 1, 4]
+
+    def test_serial_equals_parallel(self):
+        tasks = list(range(10))
+        assert run_sharded(_square, tasks, jobs=1) == run_sharded(
+            _square, tasks, jobs=4
+        )
+
+
+class TestRunShardedLedger:
+    def test_events_merged_into_ledger(self):
+        ledger = RunLedger()
+        results = run_sharded(_square_and_count, [1, 2, 3], jobs=1,
+                              ledger=ledger)
+        assert results == [1, 4, 9]
+        assert ledger.counters["tasks.run"] == 3
+        assert ledger.counters["tasks.total_input"] == 6
+        assert len(ledger.spans) == 3
+
+    def test_serial_and_pool_ledgers_byte_identical(self):
+        # The merged ledger is part of the determinism contract: same
+        # events whether the tasks ran in-process or across a pool.
+        tasks = list(range(8))
+        serial, pooled = RunLedger(), RunLedger()
+        run_sharded(_square_and_count, tasks, jobs=1, ledger=serial)
+        run_sharded(_square_and_count, tasks, jobs=4, ledger=pooled)
+        assert serial.to_jsonl() == pooled.to_jsonl()
+
+    def test_no_ledger_means_no_wrapping(self):
+        # Without a ledger the worker result comes back untouched (no
+        # (result, shard) tuples leaking out).
+        assert run_sharded(_square_and_count, [2], jobs=1) == [4]
+
+    def test_worker_events_do_not_leak_into_parent_ambient(self):
+        with obs.scoped() as ambient:
+            ledger = RunLedger()
+            run_sharded(_square_and_count, [1, 2], jobs=1, ledger=ledger)
+            assert ambient.counters == {}
+        assert ledger.counters["tasks.run"] == 2

@@ -1,5 +1,7 @@
 """Nearest-neighbor matching with a caliper."""
 
+import math
+
 import pytest
 
 from repro.core import matching
@@ -40,6 +42,53 @@ class TestCaliperCompatible:
     def test_negative_value_rejected(self):
         with pytest.raises(MatchingError):
             matching.caliper_compatible(-1.0, 1.0)
+
+    def test_nan_rejected(self):
+        # NaN marks a missing covariate and must be excluded *before*
+        # matching; silently falling through the comparisons would make
+        # every NaN pair "incompatible" without ever surfacing the bug.
+        for a, b in ((math.nan, 1.0), (1.0, math.nan), (math.nan, math.nan)):
+            with pytest.raises(MatchingError):
+                matching.caliper_compatible(a, b)
+
+
+class TestFloorConstants:
+    """The zero floors are pinned: analysis code imports them from here."""
+
+    def test_loss_floor_single_source(self):
+        from repro.analysis.common import CONFOUNDER_EXTRACTORS
+
+        record = type("U", (), {"loss_fraction": 0.0})()
+        assert CONFOUNDER_EXTRACTORS["loss"](record) == matching.LOSS_MATCH_FLOOR
+
+    def test_loss_floor_dominates_zero_floor(self):
+        # The matcher floors every confounder at ZERO_FLOOR as a last
+        # resort; a loss floor below it would be silently overridden.
+        assert matching.LOSS_MATCH_FLOOR >= matching.ZERO_FLOOR
+
+    def test_caliper_behavior_at_loss_floor(self):
+        # Two loss-free lines floored at LOSS_MATCH_FLOOR are similar;
+        # a floored line vs. 1% loss is not.
+        floor = matching.LOSS_MATCH_FLOOR
+        assert matching.caliper_compatible(floor, floor)
+        assert matching.caliper_compatible(floor, floor * 1.25)
+        assert not matching.caliper_compatible(floor, floor * 1.26)
+        assert not matching.caliper_compatible(floor, 0.01)
+
+    def test_caliper_behavior_at_zero_floor(self):
+        # Values at or below ZERO_FLOOR collapse to "zero": mutually
+        # compatible, incompatible with anything materially larger.
+        floor = matching.ZERO_FLOOR
+        assert matching.caliper_compatible(floor, floor / 10.0)
+        assert matching.caliper_compatible(0.0, floor)
+        assert matching.caliper_compatible(floor, floor * 1.25)
+        assert not matching.caliper_compatible(floor, floor * 1.26)
+
+    def test_pinned_values(self):
+        # Regression pin: changing either floor changes which users the
+        # paper's experiments can pair, so it must be a conscious edit.
+        assert matching.LOSS_MATCH_FLOOR == 1e-4
+        assert matching.ZERO_FLOOR == 1e-6
 
 
 def by_value(unit):

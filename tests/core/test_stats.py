@@ -184,9 +184,79 @@ class TestConfidenceInterval:
         with pytest.raises(AnalysisError):
             stats.mean_confidence_interval([])
 
-    def test_only_95_supported(self):
-        with pytest.raises(AnalysisError):
-            stats.mean_confidence_interval([1.0, 2.0], level=0.9)
+    def test_level_90(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        sem = np.std(values, ddof=1) / math.sqrt(5)
+        ci = stats.mean_confidence_interval(values, level=0.90)
+        assert ci.half_width == pytest.approx(
+            1.6448536269514722 * sem, rel=1e-12
+        )
+        assert ci.level == 0.90
+
+    def test_level_99(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        sem = np.std(values, ddof=1) / math.sqrt(5)
+        ci = stats.mean_confidence_interval(values, level=0.99)
+        assert ci.half_width == pytest.approx(
+            2.5758293035489004 * sem, rel=1e-12
+        )
+
+    def test_width_grows_with_level(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        widths = [
+            stats.mean_confidence_interval(values, level=lvl).half_width
+            for lvl in (0.80, 0.90, 0.95, 0.99)
+        ]
+        assert widths == sorted(widths)
+
+    def test_invalid_level_rejected(self):
+        for level in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(AnalysisError):
+                stats.mean_confidence_interval([1.0, 2.0], level=level)
+
+    def test_wilson_supports_general_levels(self):
+        narrow = stats.wilson_interval(30, 50, level=0.90)
+        wide = stats.wilson_interval(30, 50, level=0.99)
+        assert narrow.half_width < wide.half_width
+
+
+class TestNormalQuantile:
+    def test_median(self):
+        assert stats.normal_quantile(0.5) == pytest.approx(0.0, abs=1e-15)
+
+    def test_known_quantiles(self):
+        # Reference values from scipy.stats.norm.ppf.
+        known = {
+            0.975: 1.959963984540054,
+            0.95: 1.6448536269514722,
+            0.995: 2.5758293035489004,
+            0.01: -2.3263478740408408,
+        }
+        for p, z in known.items():
+            assert stats.normal_quantile(p) == pytest.approx(z, rel=1e-13)
+
+    def test_symmetry(self):
+        for p in (0.001, 0.1, 0.3, 0.77, 0.999):
+            assert stats.normal_quantile(p) == pytest.approx(
+                -stats.normal_quantile(1.0 - p), rel=1e-12, abs=1e-12
+            )
+
+    def test_monotone(self):
+        grid = [0.001, 0.01, 0.2, 0.5, 0.8, 0.99, 0.999]
+        values = [stats.normal_quantile(p) for p in grid]
+        assert values == sorted(values)
+
+    def test_endpoints_rejected(self):
+        for p in (0.0, 1.0, -0.1, 1.1):
+            with pytest.raises(AnalysisError):
+                stats.normal_quantile(p)
+
+    def test_95_level_uses_exact_constant(self):
+        # Golden-report byte-stability: the default level must keep
+        # producing the historical Z_95 constant bit for bit.
+        ci = stats.mean_confidence_interval([0.0, 1.0], level=0.95)
+        sem = np.std([0.0, 1.0], ddof=1) / math.sqrt(2)
+        assert ci.half_width == stats.Z_95 * sem
 
 
 class TestPearson:

@@ -55,16 +55,32 @@ class TestMeasureStage:
 
 
 class TestFormatProfile:
-    def test_sorted_by_wall_descending_with_total(self):
+    def test_sorted_by_name_with_total(self):
+        # Name order, not duration order: durations vary run to run, so
+        # a duration sort would shuffle rows across --jobs values.
         text = format_profile(
-            [StageTiming("fast", 0.1, 0.1), StageTiming("slow", 2.0, 1.5)]
+            [StageTiming("slow", 2.0, 1.5), StageTiming("fast", 0.1, 0.1)]
         )
         lines = text.splitlines()
         assert lines[0] == "analysis profile"
-        assert "slow" in lines[1]
-        assert "fast" in lines[2]
+        assert "fast" in lines[1]
+        assert "slow" in lines[2]
         assert "total" in lines[-1]
         assert "2.100" in lines[-1]  # summed wall seconds
+
+    def test_row_order_independent_of_durations(self):
+        # The same stages with permuted durations yield rows in the
+        # same order — the byte-stability contract behind jobs=1 vs
+        # jobs=N profile comparisons (with timing columns masked).
+        a = format_profile(
+            [StageTiming("x", 5.0, 4.0), StageTiming("y", 0.1, 0.1)]
+        )
+        b = format_profile(
+            [StageTiming("x", 0.1, 0.1), StageTiming("y", 5.0, 4.0)]
+        )
+        names_a = [line.split()[0] for line in a.splitlines()[1:]]
+        names_b = [line.split()[0] for line in b.splitlines()[1:]]
+        assert names_a == names_b == ["x", "y", "total"]
 
     def test_custom_title(self):
         text = format_profile([StageTiming("s", 0.0, 0.0)], title="report stages")

@@ -1,0 +1,226 @@
+"""The run ledger: recording, merging, and serialization invariants."""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import LedgerError
+from repro.obs.ledger import RunLedger, Span, count, current, gauge, scoped, span
+
+
+class TestRecording:
+    def test_counters_accumulate(self):
+        ledger = RunLedger()
+        ledger.count("users", 3)
+        ledger.count("users", 2)
+        assert ledger.counters["users"] == 5
+
+    def test_default_increment_is_one(self):
+        ledger = RunLedger()
+        ledger.count("hits")
+        assert ledger.counters["hits"] == 1
+
+    def test_non_integer_increment_rejected(self):
+        with pytest.raises(LedgerError):
+            RunLedger().count("x", 1.5)
+
+    def test_gauge_set_once(self):
+        ledger = RunLedger()
+        ledger.gauge("size", 42.0)
+        assert ledger.gauges["size"] == 42.0
+
+    def test_gauge_reset_to_same_value_allowed(self):
+        ledger = RunLedger()
+        ledger.gauge("size", 42.0)
+        ledger.gauge("size", 42.0)
+
+    def test_gauge_conflict_rejected(self):
+        ledger = RunLedger()
+        ledger.gauge("size", 42.0)
+        with pytest.raises(LedgerError):
+            ledger.gauge("size", 43.0)
+
+    def test_span_records_duration(self):
+        ledger = RunLedger()
+        with ledger.span("work", shard="s0"):
+            pass
+        (recorded,) = ledger.spans
+        assert recorded.name == "work"
+        assert recorded.shard == "s0"
+        assert recorded.wall_s >= 0.0
+
+    def test_span_recorded_on_exception(self):
+        ledger = RunLedger()
+        with pytest.raises(ValueError):
+            with ledger.span("boom"):
+                raise ValueError("x")
+        assert [s.name for s in ledger.spans] == ["boom"]
+
+    def test_ledger_is_picklable(self):
+        # Workers ship shard ledgers back through the process pool.
+        ledger = RunLedger()
+        ledger.count("c", 2)
+        ledger.add_span(Span("s", 1.0, 0.5, shard="0"))
+        clone = pickle.loads(pickle.dumps(ledger))
+        assert clone.counters == ledger.counters
+        assert clone.spans == ledger.spans
+
+
+# Strategies generating small random ledgers for the merge properties.
+_names = st.sampled_from(["a", "b", "c", "build/x", "sanitize.rule.y"])
+_counters = st.dictionaries(_names, st.integers(-100, 100), max_size=4)
+_spans = st.lists(
+    st.builds(
+        Span,
+        name=_names,
+        wall_s=st.floats(0.0, 10.0, allow_nan=False),
+        cpu_s=st.floats(0.0, 10.0, allow_nan=False),
+        shard=st.one_of(st.none(), st.sampled_from(["0", "1"])),
+    ),
+    max_size=4,
+)
+
+
+def _ledger(counters, spans, gauges=()):
+    ledger = RunLedger()
+    for name, value in counters.items():
+        ledger.count(name, value)
+    for s in spans:
+        ledger.add_span(s)
+    for name, value in gauges:
+        ledger.gauge(name, value)
+    return ledger
+
+
+@st.composite
+def ledgers(draw):
+    return _ledger(draw(_counters), draw(_spans))
+
+
+class TestMergeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ledgers(), ledgers(), ledgers())
+    def test_merge_associative(self, a, b, c):
+        # (a + b) + c  ==  a + (b + c), compared on serialized bytes —
+        # the form in which worker-count invariance actually matters.
+        left = pickle.loads(pickle.dumps(a)).merge(
+            pickle.loads(pickle.dumps(b))
+        ).merge(c)
+        bc = pickle.loads(pickle.dumps(b)).merge(pickle.loads(pickle.dumps(c)))
+        right = pickle.loads(pickle.dumps(a)).merge(bc)
+        assert left.to_jsonl(include_timings=True) == right.to_jsonl(
+            include_timings=True
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ledgers(), ledgers())
+    def test_merge_order_independent(self, a, b):
+        ab = pickle.loads(pickle.dumps(a)).merge(b)
+        ba = pickle.loads(pickle.dumps(b)).merge(a)
+        assert ab.to_jsonl(include_timings=True) == ba.to_jsonl(
+            include_timings=True
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ledgers())
+    def test_merge_with_empty_is_identity(self, a):
+        before = a.to_jsonl(include_timings=True)
+        a.merge(RunLedger())
+        assert a.to_jsonl(include_timings=True) == before
+
+    @settings(max_examples=60, deadline=None)
+    @given(ledgers())
+    def test_jsonl_round_trip(self, a):
+        text = a.to_jsonl(include_timings=True)
+        assert RunLedger.from_jsonl(text).to_jsonl(include_timings=True) == text
+
+
+class TestSerialization:
+    def test_zero_event_ledger_round_trips_unchanged(self):
+        # The empty stream is "" and must survive a full round trip.
+        empty = RunLedger()
+        assert empty.to_jsonl() == ""
+        clone = RunLedger.from_jsonl(empty.to_jsonl())
+        assert clone.to_jsonl() == ""
+        assert clone.counters == {} and clone.gauges == {} and clone.spans == []
+
+    def test_events_in_canonical_order(self):
+        ledger = RunLedger()
+        ledger.add_span(Span("z", 1.0, 1.0))
+        ledger.count("beta")
+        ledger.gauge("alpha", 1.0)
+        ledger.count("alpha")
+        kinds = [(e["type"], e["name"]) for e in ledger.events()]
+        assert kinds == [
+            ("counter", "alpha"),
+            ("counter", "beta"),
+            ("gauge", "alpha"),
+            ("span", "z"),
+        ]
+
+    def test_timings_excluded_by_default(self):
+        ledger = RunLedger()
+        ledger.add_span(Span("s", 1.23, 0.5))
+        assert "1.23" not in ledger.to_jsonl()
+        assert "1.23" in ledger.to_jsonl(include_timings=True)
+
+    def test_span_order_independent_of_insertion(self):
+        a, b = RunLedger(), RunLedger()
+        a.add_span(Span("x", 1.0, 1.0))
+        a.add_span(Span("y", 2.0, 2.0))
+        b.add_span(Span("y", 2.0, 2.0))
+        b.add_span(Span("x", 1.0, 1.0))
+        assert a.to_jsonl(include_timings=True) == b.to_jsonl(
+            include_timings=True
+        )
+
+    def test_bad_line_rejected_with_line_number(self):
+        with pytest.raises(LedgerError, match="line 1"):
+            RunLedger.from_jsonl("not json\n")
+        with pytest.raises(LedgerError):
+            RunLedger.from_jsonl('{"type": "mystery", "name": "x"}\n')
+
+    def test_stage_timings_view_filters_and_strips_prefix(self):
+        ledger = RunLedger()
+        ledger.add_span(Span("report/fig1", 1.0, 0.5))
+        ledger.add_span(Span("build/chunk/x", 9.0, 9.0))
+        rows = ledger.stage_timings(prefix="report/")
+        assert [(t.name, t.wall_s) for t in rows] == [("fig1", 1.0)]
+
+
+class TestAmbient:
+    def test_no_ambient_ledger_by_default(self):
+        assert current() is None
+        count("ignored")  # no-ops, must not raise
+        gauge("ignored", 1.0)
+        with span("ignored"):
+            pass
+
+    def test_scoped_installs_and_restores(self):
+        with scoped() as ledger:
+            assert current() is ledger
+            count("c", 2)
+            gauge("g", 3.0)
+            with span("s"):
+                pass
+        assert current() is None
+        assert ledger.counters == {"c": 2}
+        assert ledger.gauges == {"g": 3.0}
+        assert [s.name for s in ledger.spans] == ["s"]
+
+    def test_scopes_nest(self):
+        with scoped() as outer:
+            with scoped() as inner:
+                count("x")
+            count("y")
+        assert inner.counters == {"x": 1}
+        assert outer.counters == {"y": 1}
+
+    def test_existing_ledger_can_be_installed(self):
+        ledger = RunLedger()
+        with scoped(ledger) as installed:
+            assert installed is ledger
+            count("z")
+        assert ledger.counters == {"z": 1}

@@ -1,0 +1,55 @@
+"""Run manifests: provenance that is byte-stable across parallelism."""
+
+import dataclasses
+import json
+
+from repro._version import __version__
+from repro.datasets.cache import cache_key
+from repro.datasets.world import WorldConfig
+from repro.obs.manifest import MANIFEST_FORMAT_VERSION, run_manifest, write_manifest
+
+
+class TestRunManifest:
+    def test_config_block_and_hash(self):
+        config = WorldConfig(seed=3, n_dasu_users=10, n_fcc_users=2)
+        manifest = run_manifest(config, command="build")
+        assert manifest["manifest_format"] == MANIFEST_FORMAT_VERSION
+        assert manifest["command"] == "build"
+        assert manifest["code_version"] == __version__
+        assert manifest["seed"] == 3
+        assert manifest["config_hash"] == cache_key(config)
+        assert manifest["config"]["n_dasu_users"] == 10
+
+    def test_no_scheduling_knobs(self):
+        # Two runs differing only in --jobs must produce byte-identical
+        # manifests, so no field may carry worker counts or timestamps.
+        manifest = run_manifest(WorldConfig(seed=1), command="report")
+        blob = json.dumps(manifest)
+        assert "jobs" not in blob
+        assert "time" not in blob
+
+    def test_data_dir_run_has_no_config(self):
+        manifest = run_manifest(None, command="report", data_dir="/data/x")
+        assert manifest["config"] is None
+        assert manifest["config_hash"] is None
+        assert manifest["seed"] is None
+        assert manifest["data_dir"] == "/data/x"
+
+    def test_sanitize_and_faults_surfaced(self):
+        config = dataclasses.replace(WorldConfig(seed=1), sanitize=True)
+        manifest = run_manifest(config, command="build")
+        assert manifest["sanitize"] is True
+
+    def test_deterministic_for_same_config(self):
+        config = WorldConfig(seed=5)
+        assert run_manifest(config, command="build") == run_manifest(
+            config, command="build"
+        )
+
+    def test_write_is_byte_stable(self, tmp_path):
+        config = WorldConfig(seed=5)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_manifest(run_manifest(config, command="build"), a)
+        write_manifest(run_manifest(config, command="build"), b)
+        assert a.read_bytes() == b.read_bytes()
+        assert a.read_text().endswith("\n")

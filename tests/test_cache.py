@@ -133,6 +133,39 @@ class TestWorldCache:
         for name in ("users.csv", "survey.csv", "config.json"):
             assert (out / name).read_bytes() == (entry / name).read_bytes()
 
+    def test_trace_round_trips_through_cache(self, cache):
+        # The build ledger is stored as trace.jsonl next to the datasets
+        # and comes back byte-identical on a hit.
+        world = build_world(TINY)
+        entry = cache.store(world)
+        stored = (entry / "trace.jsonl").read_text()
+        assert stored == world.ledger.to_jsonl()
+        cached = cache.load(TINY)
+        assert cached.ledger is not None
+        assert cached.ledger.to_jsonl() == stored
+
+    def test_fetch_into_copies_trace(self, cache, tmp_path):
+        entry = cache.store(build_world(TINY))
+        out = tmp_path / "fetched-trace"
+        assert cache.fetch_into(TINY, out)
+        assert (out / "trace.jsonl").read_bytes() == (
+            entry / "trace.jsonl"
+        ).read_bytes()
+
+    def test_entry_without_trace_still_hits(self, cache):
+        # Entries written before the ledger existed (or hand-pruned)
+        # must stay loadable; they just carry no ledger.
+        entry = cache.store(build_world(TINY))
+        (entry / "trace.jsonl").unlink()
+        cached = cache.load(TINY)
+        assert cached is not None
+        assert cached.ledger is None
+
+    def test_corrupt_trace_is_a_miss(self, cache):
+        entry = cache.store(build_world(TINY))
+        (entry / "trace.jsonl").write_text("not json\n")
+        assert cache.load(TINY) is None
+
 
 class TestBuildOrLoad:
     def test_builds_then_loads(self, cache):

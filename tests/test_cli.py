@@ -211,3 +211,111 @@ class TestReport:
         rc = main(["report", "--data", str(data_dir)])
         assert rc == 0
         assert capsys.readouterr().err == ""
+
+
+class TestTrace:
+    """`--trace` artifacts: byte-stable across --jobs, and the trace's
+    sanitize.* counters equal the persisted sanitization report."""
+
+    ARGS = [
+        "--users", "40", "--fcc", "10", "--days", "1.0", "--seed", "3",
+        "--faults", "default", "--sanitize", "--no-cache",
+    ]
+
+    def _build(self, out, *extra):
+        return main(["build", "--out", str(out), "--trace"]
+                    + self.ARGS + list(extra))
+
+    def test_build_trace_byte_identical_across_jobs(self, tmp_path, capsys):
+        assert self._build(tmp_path / "j1") == 0
+        assert self._build(tmp_path / "j2", "--jobs", "2") == 0
+        for name in ("trace.jsonl", "manifest.json"):
+            assert (
+                (tmp_path / "j1" / name).read_bytes()
+                == (tmp_path / "j2" / name).read_bytes()
+            ), name
+        assert "trace written" in capsys.readouterr().err
+
+    def test_trace_sanitize_counts_match_sanitization_json(self, tmp_path):
+        import json
+
+        assert self._build(tmp_path / "w") == 0
+        report = json.loads((tmp_path / "w" / "sanitization.json").read_text())
+        counters = {}
+        for line in (tmp_path / "w" / "trace.jsonl").read_text().splitlines():
+            event = json.loads(line)
+            if event["type"] == "counter":
+                counters[event["name"]] = event["value"]
+        assert counters["sanitize.users.in"] == report["users_in"]
+        assert counters["sanitize.users.kept"] == report["users_kept"]
+        for name, stats in report["rules"].items():
+            prefix = f"sanitize.rule.{name}"
+            assert counters[f"{prefix}.examined"] == stats["examined"], name
+            assert counters[f"{prefix}.repaired"] == stats["repaired"], name
+            assert counters[f"{prefix}.dropped"] == stats["dropped"], name
+
+    def test_manifest_carries_provenance(self, tmp_path):
+        import json
+
+        from repro._version import __version__
+
+        assert self._build(tmp_path / "w") == 0
+        manifest = json.loads((tmp_path / "w" / "manifest.json").read_text())
+        assert manifest["command"] == "build"
+        assert manifest["seed"] == 3
+        assert manifest["code_version"] == __version__
+        assert manifest["config_hash"]
+
+    def test_report_trace_byte_identical_across_jobs(self, tmp_path, data_dir):
+        for jobs in ("1", "4"):
+            rc = main(
+                ["report", "--data", str(data_dir),
+                 "--out", str(tmp_path / f"r{jobs}.txt"),
+                 "--trace", "--trace-dir", str(tmp_path / f"t{jobs}"),
+                 "--jobs", jobs]
+            )
+            assert rc == 0
+        for name in ("trace.jsonl", "manifest.json"):
+            assert (
+                (tmp_path / "t1" / name).read_bytes()
+                == (tmp_path / "t4" / name).read_bytes()
+            ), name
+
+    def test_report_trace_identical_on_cache_hit_and_miss(self, tmp_path):
+        # A cache hit folds the stored build ledger into the run; the
+        # trace must not depend on which path produced the world.
+        args = [
+            "report", "--users", "30", "--fcc", "8", "--days", "1.0",
+            "--seed", "21", "--cache-dir", str(tmp_path / "cache"),
+            "--trace",
+        ]
+        assert main(args + ["--trace-dir", str(tmp_path / "miss")]) == 0
+        assert main(args + ["--trace-dir", str(tmp_path / "hit")]) == 0
+        assert (
+            (tmp_path / "miss" / "trace.jsonl").read_bytes()
+            == (tmp_path / "hit" / "trace.jsonl").read_bytes()
+        )
+
+    def test_cached_build_reuses_trace(self, tmp_path, capsys):
+        args = [
+            "--users", "30", "--fcc", "8", "--days", "1.0", "--seed", "21",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(
+            ["build", "--out", str(tmp_path / "w1"), "--trace"] + args
+        ) == 0
+        assert main(
+            ["build", "--out", str(tmp_path / "w2"), "--trace"] + args
+        ) == 0
+        assert "cache hit" in capsys.readouterr().out
+        assert (
+            (tmp_path / "w1" / "trace.jsonl").read_bytes()
+            == (tmp_path / "w2" / "trace.jsonl").read_bytes()
+        )
+
+    def test_no_trace_flag_writes_no_artifacts(self, tmp_path):
+        assert main(
+            ["build", "--out", str(tmp_path / "w")] + self.ARGS
+        ) == 0
+        assert not (tmp_path / "w" / "trace.jsonl").exists()
+        assert not (tmp_path / "w" / "manifest.json").exists()
