@@ -1,0 +1,90 @@
+"""Sweep throughput: the shared world cache and the worker fan-out.
+
+Two wall-clock measurements over the same 4-cell scenario grid:
+
+* **cold vs warm** — a sweep's worlds persist in the on-disk cache, so
+  rerunning it (new seeds study, tweaked experiment list) should cost a
+  fraction of the first run;
+* **4-worker speedup** — cells fan out through ``run_sharded`` with
+  byte-identical results, so extra workers should buy near-linear wall
+  time on fresh builds. Skipped below 4 CPUs, where the measurement
+  would be meaningless.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.datasets import WorldConfig
+from repro.sweep import Scenario, ScenarioGrid, format_sweep_report, run_sweep
+
+from conftest import emit
+
+BENCH_BASE = WorldConfig(
+    seed=31, n_dasu_users=600, n_fcc_users=0, days_per_year=1.0
+)
+BENCH_SEEDS = (31, 32)
+BENCH_GRID = ScenarioGrid(
+    scenarios=(
+        Scenario(name="baseline"),
+        Scenario(name="growth-off", overrides={"demand_growth_enabled": False}),
+    ),
+    name="bench",
+)
+
+_N_WORKERS = 4
+
+
+def _timed_sweep(**kwargs):
+    start = time.perf_counter()
+    result = run_sweep(BENCH_BASE, BENCH_GRID, BENCH_SEEDS, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def test_sweep_cache_speedup():
+    with tempfile.TemporaryDirectory() as cache_root:
+        cold, cold_s = _timed_sweep(jobs=1, cache_root=cache_root)
+        warm, warm_s = _timed_sweep(jobs=1, cache_root=cache_root)
+    speedup = cold_s / warm_s
+    emit(
+        f"Sweep world cache ({len(cold.cells)} cells, "
+        f"{BENCH_BASE.n_dasu_users} households each)",
+        [
+            f"cold (build):  {cold_s:6.2f} s",
+            f"warm (cache):  {warm_s:6.2f} s",
+            f"speedup:       x{speedup:.2f}",
+        ],
+    )
+    assert cold.n_cache_hits == 0
+    assert warm.n_cache_hits == len(warm.cells)
+    assert format_sweep_report(warm) == format_sweep_report(cold)
+    assert warm_s < cold_s * 0.5, (
+        f"expected a warm sweep at under half the cold wall time, "
+        f"got {warm_s:.2f}s vs {cold_s:.2f}s"
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < _N_WORKERS,
+    reason=f"needs >= {_N_WORKERS} CPUs to measure a {_N_WORKERS}-worker speedup",
+)
+def test_sweep_parallel_speedup():
+    serial, serial_s = _timed_sweep(jobs=1, use_cache=False)
+    parallel, parallel_s = _timed_sweep(jobs=_N_WORKERS, use_cache=False)
+    speedup = serial_s / parallel_s
+    emit(
+        f"Parallel sweep ({len(serial.cells)} cells, {_N_WORKERS} workers)",
+        [
+            f"serial:     {serial_s:6.2f} s",
+            f"{_N_WORKERS} workers:  {parallel_s:6.2f} s",
+            f"speedup:    x{speedup:.2f}",
+        ],
+    )
+    assert parallel == serial
+    assert speedup >= 2.0, (
+        f"expected >= 2x speedup from {_N_WORKERS} workers, got x{speedup:.2f}"
+    )

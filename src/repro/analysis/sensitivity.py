@@ -5,17 +5,24 @@ conclusion worth reporting should hold across draws. This module runs a
 statistic over independently-seeded worlds and summarizes the resulting
 distribution, with a Wilson interval when the statistic is a proportion
 with a known trial count.
+
+Worlds are materialized by the scenario-sweep engine
+(:func:`repro.sweep.sweep_worlds`): they come through the shared
+on-disk world cache — repeating a sweep loads persisted worlds instead
+of rebuilding them — and ``jobs`` fans the builds out across worker
+processes with bit-identical results. Statistics are applied in the
+calling process, so they may be arbitrary (unpicklable) callables.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..core.stats import ConfidenceInterval, wilson_interval
-from ..datasets import World, WorldConfig, build_world
+from ..datasets import World, WorldConfig
 from ..exceptions import AnalysisError
 
 __all__ = ["SeedSweepResult", "SweepPoint", "seed_sweep", "proportion_sweep"]
@@ -76,22 +83,42 @@ class SeedSweepResult:
         return lines
 
 
+def _worlds(
+    base_config: WorldConfig,
+    seeds: Sequence[int],
+    jobs: int | None,
+    use_cache: bool,
+) -> list[World]:
+    if not seeds:
+        raise AnalysisError("a sweep needs at least one seed")
+    # Imported here: repro.sweep pulls in the analysis experiment
+    # runners, so a module-level import would cycle during package init.
+    from ..sweep.engine import sweep_worlds
+
+    return sweep_worlds(
+        base_config, seeds, jobs=jobs, use_cache=use_cache
+    )
+
+
 def seed_sweep(
     base_config: WorldConfig,
     seeds: Sequence[int],
     statistic: Callable[[World], float],
+    *,
+    jobs: int | None = 1,
+    use_cache: bool = True,
 ) -> SeedSweepResult:
     """Evaluate ``statistic`` over one world per seed.
 
-    Each world is ``base_config`` with only the seed replaced; building
-    worlds dominates the cost, so size the config to the question.
+    Each world is ``base_config`` with only the seed replaced, obtained
+    through the sweep engine's shared world cache (``use_cache=False``
+    forces fresh builds); ``jobs`` parallelizes the world builds.
     """
-    if not seeds:
-        raise AnalysisError("a sweep needs at least one seed")
-    points = []
-    for seed in seeds:
-        world = build_world(replace(base_config, seed=int(seed)))
-        points.append(SweepPoint(seed=int(seed), value=float(statistic(world))))
+    worlds = _worlds(base_config, seeds, jobs, use_cache)
+    points = [
+        SweepPoint(seed=int(seed), value=float(statistic(world)))
+        for seed, world in zip(seeds, worlds)
+    ]
     return SeedSweepResult(points=tuple(points))
 
 
@@ -99,17 +126,18 @@ def proportion_sweep(
     base_config: WorldConfig,
     seeds: Sequence[int],
     statistic: Callable[[World], tuple[float, int]],
+    *,
+    jobs: int | None = 1,
+    use_cache: bool = True,
 ) -> SeedSweepResult:
     """Like :func:`seed_sweep` for proportion statistics.
 
     ``statistic`` returns ``(fraction, n_trials)`` so each point carries a
     Wilson interval (e.g. an experiment's %-H-holds and its pair count).
     """
-    if not seeds:
-        raise AnalysisError("a sweep needs at least one seed")
+    worlds = _worlds(base_config, seeds, jobs, use_cache)
     points = []
-    for seed in seeds:
-        world = build_world(replace(base_config, seed=int(seed)))
+    for seed, world in zip(seeds, worlds):
         fraction, n_trials = statistic(world)
         points.append(
             SweepPoint(

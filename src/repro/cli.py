@@ -1,12 +1,14 @@
 """Command-line interface.
 
-Four subcommands cover the study lifecycle::
+Five subcommands cover the study lifecycle::
 
     python -m repro build   --out DIR [--seed N --users N --fcc N --days D]
                             [--faults PROFILE --sanitize]
                             [--jobs N --no-cache --cache-dir DIR]
     python -m repro analyze --data DIR --experiment NAME
     python -m repro report  [--data DIR | --seed N --users N ...] [--out FILE]
+    python -m repro sweep   [--grid FILE] [--seeds N] [--experiments LIST]
+                            [--out DIR] [--jobs N] [--trace]
     python -m repro export  --data DIR --out DIR
 
 ``build`` generates a world and persists it (users.csv, survey.csv,
@@ -39,6 +41,16 @@ provenance manifest (config + hash, seed, code and library versions).
 Both are byte-identical for a fixed seed across any ``--jobs`` value,
 and the trace's ``sanitize.*`` counters always equal the persisted
 ``sanitization.json``.
+
+``sweep`` evaluates the paper's verdicts across a whole grid of worlds
+(see :mod:`repro.sweep`): a declarative scenario grid (``--grid
+grid.json`` — config overrides × fault severities) is crossed with
+``--seeds N`` replicate seeds, every (scenario, seed) cell is built
+through the shared world cache and fanned out over ``--jobs`` workers,
+and the chosen ``--experiments`` run per cell. The verdict-stability
+report (and ``sweep.json``, and the ``--trace`` artifacts — one merged
+ledger and manifest per sweep) is byte-identical for any ``--jobs``
+value and for warm vs cold caches.
 """
 
 from __future__ import annotations
@@ -375,6 +387,89 @@ def _report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep(args: argparse.Namespace) -> int:
+    from .sweep import (
+        SWEEP_EXPERIMENTS,
+        ScenarioGrid,
+        format_sweep_report,
+        run_sweep,
+        sweep_payload,
+    )
+
+    jobs = resolve_jobs(args.jobs)
+    config = _world_config(args)
+    grid = (
+        ScenarioGrid.from_json(args.grid)
+        if args.grid is not None
+        else ScenarioGrid.baseline()
+    )
+    if args.seeds is not None:
+        if args.seeds < 1:
+            raise ReproError(
+                f"--seeds must be a positive replicate count, got {args.seeds}"
+            )
+        seeds = tuple(config.seed + i for i in range(args.seeds))
+    elif grid.seeds:
+        seeds = grid.seeds
+    else:
+        seeds = (config.seed,)
+    experiments = (
+        tuple(key.strip() for key in args.experiments.split(",") if key.strip())
+        if args.experiments
+        else SWEEP_EXPERIMENTS
+    )
+    if args.trace and not args.out:
+        raise ReproError("sweep --trace needs --out to hold the artifacts")
+    print(
+        f"sweeping {len(grid.scenarios)} scenarios x {len(seeds)} seeds "
+        f"({len(grid.scenarios) * len(seeds)} cells, jobs={jobs})...",
+        flush=True,
+    )
+    ledger = RunLedger()
+    result = run_sweep(
+        config,
+        grid,
+        seeds,
+        experiments=experiments,
+        jobs=jobs,
+        cache_root=args.cache_dir,
+        use_cache=not args.no_cache,
+        ledger=ledger,
+    )
+    # Cache accounting is scheduling/state dependent, so it goes to
+    # stderr: the report itself must be byte-identical cold vs warm.
+    print(
+        f"worlds from cache: {result.n_cache_hits}/{len(result.cells)}",
+        file=sys.stderr,
+    )
+    text = format_sweep_report(result)
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "report.txt").write_text(text + "\n")
+        (out / "sweep.json").write_text(
+            json.dumps(sweep_payload(result), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"sweep report written to {out}")
+        if args.trace:
+            _write_trace(
+                ledger,
+                run_manifest(
+                    config,
+                    command="sweep",
+                    extras={
+                        "grid": grid.to_payload(),
+                        "sweep_seeds": list(seeds),
+                        "experiments": list(experiments),
+                    },
+                ),
+                out,
+            )
+    else:
+        print(text)
+    return 0
+
+
 def _export(args: argparse.Namespace) -> int:
     from .analysis.export import export_figure_data
 
@@ -458,6 +553,32 @@ def build_parser() -> argparse.ArgumentParser:
     add_world_args(p_report)
     add_cache_args(p_report)
     p_report.set_defaults(func=_report)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="evaluate the paper's verdicts across a scenario grid",
+    )
+    p_sweep.add_argument("--grid",
+                         help="scenario grid JSON (scenarios/axes/seeds); "
+                              "omit for a baseline-only seed sweep")
+    p_sweep.add_argument("--seeds", type=int, default=None,
+                         help="replicate seeds per scenario (base seed, "
+                              "base seed + 1, ...); overrides grid-declared "
+                              "seeds")
+    p_sweep.add_argument("--experiments", default=None,
+                         help="comma-separated experiment subset "
+                              "(default: every sweep-runnable experiment)")
+    p_sweep.add_argument("--out",
+                         help="directory for report.txt and sweep.json "
+                              "(omit to print the report)")
+    p_sweep.add_argument("--trace", action="store_true",
+                         help="write one merged run ledger (trace.jsonl) "
+                              "and provenance manifest (manifest.json) for "
+                              "the whole sweep into --out; byte-identical "
+                              "for any --jobs value")
+    add_world_args(p_sweep)
+    add_cache_args(p_sweep)
+    p_sweep.set_defaults(func=_sweep)
 
     p_export = sub.add_parser(
         "export", help="write every figure's data series to CSV"

@@ -45,3 +45,7 @@ class AnalysisError(ReproError, ValueError):
 
 class LedgerError(ReproError, ValueError):
     """A run-ledger event or merge was invalid (see :mod:`repro.obs`)."""
+
+
+class SweepError(ReproError, ValueError):
+    """A scenario grid or sweep run was invalid (see :mod:`repro.sweep`)."""

@@ -36,13 +36,17 @@ def run_manifest(
     *,
     command: str,
     data_dir: str | None = None,
+    extras: dict | None = None,
 ) -> dict:
     """Assemble the provenance manifest of one CLI run.
 
     ``config`` is the :class:`~repro.datasets.world.WorldConfig` the run
     built or loaded, or ``None`` when the run analyzed a pre-existing
     dataset directory (``report --data``), in which case ``data_dir``
-    names it and the config block is ``None``.
+    names it and the config block is ``None``. ``extras`` are
+    command-specific top-level entries (e.g. ``repro sweep`` records its
+    scenario grid and replicate seeds); they must be deterministic —
+    no timestamps or scheduling knobs — to keep manifests byte-stable.
     """
     # Imported lazily: datasets.cache imports the builder, which imports
     # the ledger — a module-level import here would cycle.
@@ -61,7 +65,7 @@ def run_manifest(
         seed = config.seed
         faults = payload.get("faults")
         sanitize = bool(config.sanitize)
-    return {
+    manifest = {
         "manifest_format": MANIFEST_FORMAT_VERSION,
         "command": command,
         "code_version": __version__,
@@ -76,6 +80,14 @@ def run_manifest(
             "numpy": np.__version__,
         },
     }
+    if extras:
+        overlap = set(extras) & set(manifest)
+        if overlap:
+            raise ValueError(
+                f"manifest extras shadow base fields: {sorted(overlap)}"
+            )
+        manifest.update(extras)
+    return manifest
 
 
 def write_manifest(manifest: dict, path: str | Path) -> None:

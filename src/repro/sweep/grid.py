@@ -1,0 +1,272 @@
+"""Declarative scenario grids.
+
+A :class:`ScenarioGrid` names the worlds a sweep visits: each
+:class:`Scenario` is a set of :class:`~repro.datasets.world.WorldConfig`
+field overrides (plus an optional fault-severity profile and a
+sanitization switch), and the grid crosses every scenario with every
+replicate seed. Grids are plain data — they can be written as JSON
+(``repro sweep --grid grid.json``), built in code, or expanded from
+per-field ``axes`` whose cartesian product becomes the scenario list.
+
+The seed is deliberately *not* an override: seeds are the replicate
+axis of the sweep, supplied separately, so that every scenario is
+evaluated under the same draws of the generative model and the
+verdict-stability matrix compares like with like.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..datasets.world import WorldConfig
+from ..exceptions import SweepError
+from ..faults import FAULT_PROFILES, fault_profile
+
+__all__ = ["Scenario", "ScenarioGrid"]
+
+#: Knobs a scenario may not override: the seed is the replicate axis,
+#: and faults/sanitize have dedicated scenario fields with validation.
+_RESERVED_FIELDS = ("seed", "faults", "sanitize")
+
+_CONFIG_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(WorldConfig)
+) - set(_RESERVED_FIELDS)
+
+
+def _check_overrides(name: str, overrides: Mapping[str, object]) -> None:
+    for key in overrides:
+        if key in _RESERVED_FIELDS:
+            raise SweepError(
+                f"scenario {name!r} overrides reserved field {key!r} "
+                "(seeds are the sweep's replicate axis; use the "
+                "'faults'/'sanitize' scenario fields instead)"
+            )
+        if key not in _CONFIG_FIELDS:
+            raise SweepError(
+                f"scenario {name!r} overrides unknown WorldConfig "
+                f"field {key!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named world variation: config overrides + fault settings."""
+
+    name: str
+    #: ``WorldConfig`` field overrides (any field except the reserved
+    #: ``seed``/``faults``/``sanitize``).
+    overrides: Mapping[str, object] = field(default_factory=dict)
+    #: Fault-severity profile name (``"off"`` = pristine substrate,
+    #: ``None`` = inherit the base configuration's fault settings).
+    faults: str | None = None
+    #: Run the sanitization stage (``None`` = inherit the base config).
+    sanitize: bool | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SweepError("scenarios need a non-empty name")
+        _check_overrides(self.name, self.overrides)
+        if self.faults is not None and self.faults not in (
+            "off", "none", *FAULT_PROFILES
+        ):
+            known = ", ".join(("off", *FAULT_PROFILES))
+            raise SweepError(
+                f"scenario {self.name!r}: unknown fault profile "
+                f"{self.faults!r} (expected one of: {known})"
+            )
+        # Freeze the mapping so scenarios stay hashable-by-value safe.
+        object.__setattr__(self, "overrides", dict(self.overrides))
+
+    def apply(self, base: WorldConfig, seed: int) -> WorldConfig:
+        """The world configuration of this scenario at one seed."""
+        changes: dict = dict(self.overrides)
+        changes["seed"] = int(seed)
+        if self.faults is not None:
+            changes["faults"] = fault_profile(self.faults)
+        if self.sanitize is not None:
+            changes["sanitize"] = bool(self.sanitize)
+        try:
+            return dataclasses.replace(base, **changes)
+        except (TypeError, ValueError) as exc:
+            raise SweepError(
+                f"scenario {self.name!r} produced an invalid world "
+                f"configuration: {exc}"
+            ) from None
+
+    def to_payload(self) -> dict:
+        payload: dict = {"name": self.name}
+        if self.overrides:
+            payload["overrides"] = dict(self.overrides)
+        if self.faults is not None:
+            payload["faults"] = self.faults
+        if self.sanitize is not None:
+            payload["sanitize"] = self.sanitize
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "Scenario":
+        if not isinstance(payload, Mapping):
+            raise SweepError(f"scenario entries must be objects, got {payload!r}")
+        unknown = set(payload) - {"name", "overrides", "faults", "sanitize"}
+        if unknown:
+            raise SweepError(
+                f"scenario has unknown keys: {', '.join(sorted(unknown))}"
+            )
+        try:
+            name = payload["name"]
+        except KeyError:
+            raise SweepError("scenarios need a 'name'") from None
+        return cls(
+            name=str(name),
+            overrides=dict(payload.get("overrides", {})),
+            faults=payload.get("faults"),
+            sanitize=payload.get("sanitize"),
+        )
+
+
+def _expand_axes(axes: Sequence[Mapping]) -> list[Scenario]:
+    """Cartesian product of per-field value lists, as named scenarios.
+
+    Each axis is ``{"field": <WorldConfig field or "faults">,
+    "values": [...]}``; the product scenario ``f=a,g=b`` carries one
+    override per axis. A ``faults`` axis sets the severity profile
+    instead of an override.
+    """
+    if not axes:
+        return []
+    names: list[str] = []
+    value_lists: list[list] = []
+    for axis in axes:
+        if not isinstance(axis, Mapping) or set(axis) != {"field", "values"}:
+            raise SweepError(
+                "each axis must be {'field': ..., 'values': [...]}, "
+                f"got {axis!r}"
+            )
+        axis_field = str(axis["field"])
+        values = list(axis["values"])
+        if not values:
+            raise SweepError(f"axis {axis_field!r} has no values")
+        if axis_field != "faults" and axis_field not in _CONFIG_FIELDS:
+            raise SweepError(
+                f"axis field {axis_field!r} is not a sweepable "
+                "WorldConfig field"
+            )
+        names.append(axis_field)
+        value_lists.append(values)
+    scenarios = []
+    for combo in itertools.product(*value_lists):
+        label = ",".join(
+            f"{name}={value}" for name, value in zip(names, combo)
+        )
+        overrides = {
+            name: value
+            for name, value in zip(names, combo)
+            if name != "faults"
+        }
+        faults = None
+        for name, value in zip(names, combo):
+            if name == "faults":
+                faults = str(value)
+        scenarios.append(
+            Scenario(name=label, overrides=overrides, faults=faults)
+        )
+    return scenarios
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """An ordered set of scenarios, optionally with grid-declared seeds."""
+
+    scenarios: tuple[Scenario, ...]
+    name: str = "sweep"
+    #: Replicate seeds declared by the grid itself; the caller (CLI
+    #: ``--seeds``) may override them.
+    seeds: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise SweepError("a grid needs at least one scenario")
+        seen: set[str] = set()
+        for scenario in self.scenarios:
+            if scenario.name in seen:
+                raise SweepError(
+                    f"duplicate scenario name {scenario.name!r}"
+                )
+            seen.add(scenario.name)
+        object.__setattr__(
+            self, "seeds", tuple(int(s) for s in self.seeds)
+        )
+
+    @classmethod
+    def baseline(cls, name: str = "baseline") -> "ScenarioGrid":
+        """A single-scenario grid: the base configuration, unmodified."""
+        return cls(scenarios=(Scenario(name=name),), name="seeds-only")
+
+    def configs(
+        self, base: WorldConfig, seeds: Sequence[int]
+    ) -> list[tuple[Scenario, int, WorldConfig]]:
+        """Every (scenario, seed, config) cell, scenario-major order."""
+        if not seeds:
+            raise SweepError("a sweep needs at least one seed")
+        return [
+            (scenario, int(seed), scenario.apply(base, int(seed)))
+            for scenario in self.scenarios
+            for seed in seeds
+        ]
+
+    def to_payload(self) -> dict:
+        payload: dict = {
+            "name": self.name,
+            "scenarios": [s.to_payload() for s in self.scenarios],
+        }
+        if self.seeds:
+            payload["seeds"] = list(self.seeds)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "ScenarioGrid":
+        """Parse a grid payload (the ``grid.json`` schema).
+
+        Supported keys: ``name``, ``scenarios`` (explicit list),
+        ``axes`` (cartesian product, appended after any explicit
+        scenarios), ``seeds``. At least one scenario must result.
+        """
+        if not isinstance(payload, Mapping):
+            raise SweepError("a grid must be a JSON object")
+        unknown = set(payload) - {"name", "scenarios", "axes", "seeds"}
+        if unknown:
+            raise SweepError(
+                f"grid has unknown keys: {', '.join(sorted(unknown))}"
+            )
+        scenarios = [
+            Scenario.from_payload(entry)
+            for entry in payload.get("scenarios", [])
+        ]
+        scenarios.extend(_expand_axes(payload.get("axes", [])))
+        if not scenarios:
+            raise SweepError("grid declares no scenarios and no axes")
+        try:
+            seeds = tuple(int(s) for s in payload.get("seeds", ()))
+        except (TypeError, ValueError) as exc:
+            raise SweepError(f"bad grid seeds: {exc}") from None
+        return cls(
+            scenarios=tuple(scenarios),
+            name=str(payload.get("name", "sweep")),
+            seeds=seeds,
+        )
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "ScenarioGrid":
+        """Load a grid from a ``grid.json`` file."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except OSError as exc:
+            raise SweepError(f"cannot read grid file {path}: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise SweepError(f"{path} is not valid JSON: {exc}") from None
+        return cls.from_payload(payload)

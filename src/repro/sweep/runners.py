@@ -1,0 +1,164 @@
+"""The experiments a sweep can evaluate in every cell.
+
+Each runner takes a built world's Dasu users and returns the natural
+experiments of one paper table as :class:`VerdictRow` records — the
+verdict (significant *and* practically important, the paper's bar) plus
+the raw "% H holds" behind it. The registry is an ordered mapping so a
+sweep's report always lists experiments in the paper's table order.
+
+Rows with zero matched pairs are dropped: they carry no verdict
+evidence and would only add ``NaN`` noise to the stability matrix.
+Runners raise :class:`~repro.exceptions.AnalysisError` when a world is
+too small for an experiment at all; the engine records such cells as
+having skipped that experiment rather than failing the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..analysis import capacity, price, quality, upgrade_cost
+from ..core.experiments import ExperimentResult
+from ..datasets.records import UserRecord
+from ..exceptions import SweepError
+
+__all__ = ["SWEEP_EXPERIMENTS", "VerdictRow", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class VerdictRow:
+    """One experiment row's verdict in one sweep cell."""
+
+    experiment: str
+    row: str
+    fraction_holds: float
+    n_pairs: int
+    p_value: float
+    significant: bool
+    rejects_null: bool
+
+    def to_payload(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "row": self.row,
+            "fraction_holds": round(self.fraction_holds, 12),
+            "n_pairs": self.n_pairs,
+            "p_value": round(self.p_value, 12),
+            "significant": self.significant,
+            "rejects_null": self.rejects_null,
+        }
+
+
+def _verdict(experiment: str, row: str, result: ExperimentResult) -> VerdictRow:
+    return VerdictRow(
+        experiment=experiment,
+        row=row,
+        fraction_holds=float(result.fraction_holds),
+        n_pairs=int(result.n_pairs),
+        p_value=float(result.p_value),
+        significant=bool(result.statistically_significant),
+        rejects_null=bool(result.rejects_null),
+    )
+
+
+def _rows(
+    experiment: str, labeled: Sequence[tuple[str, ExperimentResult]]
+) -> list[VerdictRow]:
+    return [
+        _verdict(experiment, label, result)
+        for label, result in labeled
+        if result.n_pairs > 0
+    ]
+
+
+def _run_table1(users: Sequence[UserRecord]) -> list[VerdictRow]:
+    result = capacity.table1(users)
+    return _rows(
+        "table1",
+        [(label, res) for label, _, res in result.rows()],
+    )
+
+
+def _run_table2(users: Sequence[UserRecord]) -> list[VerdictRow]:
+    result = capacity.table2(users, "dasu")
+    return _rows(
+        "table2",
+        [
+            (f"{row.control_bin.label()} vs next", row.experiment.result)
+            for row in result.rows
+        ],
+    )
+
+
+def _run_table3(users: Sequence[UserRecord]) -> list[VerdictRow]:
+    result = price.table3(users)
+    return _rows(
+        "table3",
+        [(label, res.result) for label, _, res in result.rows()],
+    )
+
+
+def _run_table6(users: Sequence[UserRecord]) -> list[VerdictRow]:
+    labeled = []
+    for include_bt in (True, False):
+        result = upgrade_cost.table6(users, include_bt=include_bt)
+        tag = "w/ BT" if include_bt else "no BT"
+        labeled.extend(
+            (f"{label} ({tag})", res.result)
+            for label, _, res in result.rows()
+        )
+    return _rows("table6", labeled)
+
+
+def _run_table7(users: Sequence[UserRecord]) -> list[VerdictRow]:
+    result = quality.table7(users)
+    return _rows(
+        "table7",
+        [
+            (f"vs {row.treatment_bin.label('ms')}", row.experiment.result)
+            for row in result.rows
+        ],
+    )
+
+
+def _run_table8(users: Sequence[UserRecord]) -> list[VerdictRow]:
+    result = quality.table8(users)
+    return _rows(
+        "table8",
+        [
+            (row.experiment.result.name, row.experiment.result)
+            for row in result.rows
+        ],
+    )
+
+
+_RUNNERS: dict[str, Callable[[Sequence[UserRecord]], list[VerdictRow]]] = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "table6": _run_table6,
+    "table7": _run_table7,
+    "table8": _run_table8,
+}
+
+#: Every sweep-runnable experiment, in the paper's table order.
+SWEEP_EXPERIMENTS: tuple[str, ...] = tuple(_RUNNERS)
+
+
+def run_experiment(
+    key: str, users: Sequence[UserRecord]
+) -> list[VerdictRow]:
+    """Run one registered experiment over a cell's Dasu users.
+
+    Raises :class:`~repro.exceptions.AnalysisError` (bubbled from the
+    analysis layer) when the world cannot support the experiment.
+    """
+    try:
+        runner = _RUNNERS[key]
+    except KeyError:
+        known = ", ".join(SWEEP_EXPERIMENTS)
+        raise SweepError(
+            f"unknown sweep experiment {key!r} (expected one of: {known})"
+        ) from None
+    return runner(users)

@@ -1,0 +1,1 @@
+"""Tests for the scenario-sweep engine (:mod:`repro.sweep`)."""

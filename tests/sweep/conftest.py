@@ -1,0 +1,92 @@
+"""Fixtures for the sweep suite.
+
+Two sweeps are shared across the suite, each run at most once per
+session:
+
+* ``small_sweep`` — a 2-scenario x 2-seed grid over ~150-user worlds;
+  cheap enough for the engine/report/determinism tests to rerun in
+  variations (different worker counts, cold vs warm cache);
+* ``metamorphic_sweep`` — the mechanism-direction grid: the baseline
+  world plus one scenario per generative knob (price selection, quality
+  suppression, demand growth, supply constraints, fault injection),
+  crossed with three replicate seeds at ~1,200 users. Every metamorphic
+  test reads this one result.
+
+The session-wide ``REPRO_CACHE_DIR`` isolation from ``tests/conftest.py``
+applies here too, so sweeps never touch the user's real world cache.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import WorldConfig
+from repro.sweep import Scenario, ScenarioGrid, SweepResult, run_sweep
+
+SMALL_SWEEP_BASE = WorldConfig(
+    seed=5, n_dasu_users=150, n_fcc_users=0, days_per_year=1.0
+)
+SMALL_SWEEP_SEEDS = (5, 6)
+
+
+def small_sweep_grid() -> ScenarioGrid:
+    return ScenarioGrid(
+        scenarios=(
+            Scenario(name="baseline"),
+            Scenario(name="growth-off", overrides={"demand_growth_enabled": False}),
+        ),
+        name="small",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_sweep() -> SweepResult:
+    return run_sweep(
+        SMALL_SWEEP_BASE, small_sweep_grid(), SMALL_SWEEP_SEEDS, jobs=2
+    )
+
+
+METAMORPHIC_BASE = WorldConfig(
+    seed=101, n_dasu_users=1200, n_fcc_users=0, days_per_year=1.0
+)
+METAMORPHIC_SEEDS = (101, 102, 103)
+
+
+def metamorphic_grid() -> ScenarioGrid:
+    """One scenario per generative mechanism, plus the baseline."""
+    return ScenarioGrid(
+        scenarios=(
+            Scenario(name="baseline"),
+            Scenario(
+                name="price-off",
+                overrides={"price_selection_enabled": False},
+            ),
+            Scenario(
+                name="quality-off",
+                overrides={"quality_suppression_enabled": False},
+            ),
+            Scenario(
+                name="growth-off",
+                overrides={"demand_growth_enabled": False},
+            ),
+            Scenario(
+                name="constrained",
+                overrides={"address_constraint_rate": 0.45},
+            ),
+            Scenario(name="faulted", faults="light", sanitize=True),
+        ),
+        name="metamorphic",
+    )
+
+
+@pytest.fixture(scope="session")
+def metamorphic_sweep() -> SweepResult:
+    """The shared mechanism-direction sweep (18 worlds, built once)."""
+    return run_sweep(
+        METAMORPHIC_BASE,
+        metamorphic_grid(),
+        METAMORPHIC_SEEDS,
+        jobs=max(1, min(8, os.cpu_count() or 1)),
+    )

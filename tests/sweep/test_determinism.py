@@ -1,0 +1,137 @@
+"""Sweep determinism: worker counts, cache state, and the golden pin.
+
+The contract under test is byte-level: the report text, the
+``sweep.json`` payload, and the merged trace ledger must be identical
+
+* for any ``jobs`` value,
+* whether every world was built fresh or loaded from the cache, and
+* across sessions for a fixed configuration (the golden snapshot).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import RunLedger
+from repro.sweep import (
+    Scenario,
+    ScenarioGrid,
+    format_sweep_report,
+    run_sweep,
+    sweep_payload,
+)
+
+from .conftest import SMALL_SWEEP_BASE, SMALL_SWEEP_SEEDS, small_sweep_grid
+
+GOLDEN_DIR = Path(__file__).parent.parent / "golden"
+GOLDEN_SWEEP = GOLDEN_DIR / "sweep_report_small.txt"
+
+
+def _run(jobs, cache_root=None, use_cache=True):
+    ledger = RunLedger()
+    result = run_sweep(
+        SMALL_SWEEP_BASE,
+        small_sweep_grid(),
+        SMALL_SWEEP_SEEDS,
+        jobs=jobs,
+        cache_root=cache_root,
+        use_cache=use_cache,
+        ledger=ledger,
+    )
+    return result, ledger
+
+
+def _payload_bytes(result) -> bytes:
+    return json.dumps(
+        sweep_payload(result), indent=2, sort_keys=True
+    ).encode()
+
+
+class TestWorkerInvariance:
+    def test_jobs_4_byte_identical_to_jobs_1(self):
+        serial, serial_ledger = _run(jobs=1)
+        parallel, parallel_ledger = _run(jobs=4)
+        assert format_sweep_report(parallel) == format_sweep_report(serial)
+        assert _payload_bytes(parallel) == _payload_bytes(serial)
+        assert parallel_ledger.to_jsonl() == serial_ledger.to_jsonl()
+
+    def test_results_compare_equal_across_jobs(self):
+        assert _run(jobs=3)[0] == _run(jobs=1)[0]
+
+
+class TestCacheEquivalence:
+    def test_cold_and_warm_runs_identical(self, tmp_path):
+        cold, cold_ledger = _run(jobs=2, cache_root=tmp_path)
+        warm, warm_ledger = _run(jobs=2, cache_root=tmp_path)
+        assert cold.n_cache_hits == 0
+        assert warm.n_cache_hits == len(warm.cells)
+        assert warm == cold
+        assert format_sweep_report(warm) == format_sweep_report(cold)
+        assert warm_ledger.to_jsonl() == cold_ledger.to_jsonl()
+
+    def test_uncached_run_matches_cached(self, tmp_path):
+        cached, cached_ledger = _run(jobs=1, cache_root=tmp_path)
+        fresh, fresh_ledger = _run(
+            jobs=1, cache_root=tmp_path, use_cache=False
+        )
+        assert fresh.n_cache_hits == 0
+        assert fresh == cached
+        assert fresh_ledger.to_jsonl() == cached_ledger.to_jsonl()
+
+    def test_cells_sharing_a_config_share_the_cache(self, tmp_path):
+        # "growth-on" overrides the knob with its default value, so its
+        # cells resolve to the same world configurations as baseline's;
+        # with jobs=1 the later cells must hit the earlier cells' store.
+        grid = ScenarioGrid(
+            scenarios=(
+                Scenario(name="baseline"),
+                Scenario(
+                    name="growth-on",
+                    overrides={"demand_growth_enabled": True},
+                ),
+            ),
+            name="overlap",
+        )
+        result = run_sweep(
+            SMALL_SWEEP_BASE,
+            grid,
+            SMALL_SWEEP_SEEDS,
+            experiments=("table1",),
+            jobs=1,
+            cache_root=tmp_path,
+        )
+        assert result.n_cache_hits == len(SMALL_SWEEP_SEEDS)
+        for base_cell, twin in zip(
+            result.cells_for("baseline"), result.cells_for("growth-on")
+        ):
+            assert twin.verdicts == base_cell.verdicts
+            assert twin.headline == base_cell.headline
+
+
+class TestGoldenSweep:
+    """The small sweep's report is pinned byte-for-byte.
+
+    Regenerate after an intentional behavior change with::
+
+        PYTHONPATH=src python -m pytest tests/sweep/test_determinism.py \\
+            --regen-golden
+    """
+
+    def test_report_matches_golden(self, small_sweep, request):
+        text = format_sweep_report(small_sweep)
+        if request.config.getoption("--regen-golden"):
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            GOLDEN_SWEEP.write_text(text + "\n")
+            pytest.skip(f"regenerated {GOLDEN_SWEEP}")
+        assert GOLDEN_SWEEP.exists(), (
+            "golden sweep snapshot missing — regenerate with "
+            "`python -m pytest tests/sweep/test_determinism.py --regen-golden`"
+        )
+        assert text + "\n" == GOLDEN_SWEEP.read_text(), (
+            "sweep report drifted from the golden snapshot; if the change "
+            "is intentional, regenerate with --regen-golden and review "
+            "the diff"
+        )

@@ -1,0 +1,238 @@
+"""Scenario and grid parsing/validation (:mod:`repro.sweep.grid`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datasets import WorldConfig
+from repro.exceptions import SweepError
+from repro.faults import FaultConfig
+from repro.sweep import Scenario, ScenarioGrid
+
+BASE = WorldConfig(seed=1, n_dasu_users=50, n_fcc_users=10, days_per_year=1.0)
+
+
+class TestScenario:
+    def test_apply_replaces_seed_and_overrides(self):
+        scenario = Scenario(
+            name="no-growth", overrides={"demand_growth_enabled": False}
+        )
+        config = scenario.apply(BASE, 42)
+        assert config.seed == 42
+        assert config.demand_growth_enabled is False
+        assert config.n_dasu_users == BASE.n_dasu_users
+        # The base config itself is untouched.
+        assert BASE.demand_growth_enabled is True
+
+    def test_fault_profile_and_sanitize_applied(self):
+        scenario = Scenario(name="f", faults="light", sanitize=True)
+        config = scenario.apply(BASE, 1)
+        assert isinstance(config.faults, FaultConfig)
+        assert config.sanitize is True
+
+    def test_faults_off_means_pristine(self):
+        config = Scenario(name="f", faults="off").apply(BASE, 1)
+        assert config.faults is None
+
+    def test_none_fields_inherit_base(self):
+        base = Scenario(name="f", faults="light", sanitize=True).apply(BASE, 1)
+        config = Scenario(name="plain").apply(base, 2)
+        assert isinstance(config.faults, FaultConfig)
+        assert config.sanitize is True
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SweepError, match="non-empty name"):
+            Scenario(name="")
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(SweepError, match="unknown WorldConfig"):
+            Scenario(name="s", overrides={"n_dasu_userz": 10})
+
+    @pytest.mark.parametrize("field", ["seed", "faults", "sanitize"])
+    def test_reserved_override_rejected(self, field):
+        with pytest.raises(SweepError, match="reserved"):
+            Scenario(name="s", overrides={field: 1})
+
+    def test_unknown_fault_profile_rejected(self):
+        with pytest.raises(SweepError, match="unknown fault profile"):
+            Scenario(name="s", faults="catastrophic")
+
+    def test_invalid_override_value_surfaces_as_sweep_error(self):
+        scenario = Scenario(name="s", overrides={"n_dasu_users": -5})
+        with pytest.raises(SweepError, match="invalid world configuration"):
+            scenario.apply(BASE, 1)
+
+    def test_payload_round_trip(self):
+        scenario = Scenario(
+            name="s",
+            overrides={"address_constraint_rate": 0.3},
+            faults="default",
+            sanitize=True,
+        )
+        assert Scenario.from_payload(scenario.to_payload()) == scenario
+
+    def test_minimal_payload_omits_defaults(self):
+        assert Scenario(name="s").to_payload() == {"name": "s"}
+
+    def test_payload_unknown_key_rejected(self):
+        with pytest.raises(SweepError, match="unknown keys: extra"):
+            Scenario.from_payload({"name": "s", "extra": 1})
+
+    def test_payload_missing_name_rejected(self):
+        with pytest.raises(SweepError, match="need a 'name'"):
+            Scenario.from_payload({"overrides": {}})
+
+    def test_payload_must_be_object(self):
+        with pytest.raises(SweepError, match="must be objects"):
+            Scenario.from_payload(["s"])
+
+
+class TestScenarioGrid:
+    def test_configs_are_scenario_major(self):
+        grid = ScenarioGrid(
+            scenarios=(Scenario(name="a"), Scenario(name="b")), name="g"
+        )
+        cells = grid.configs(BASE, (7, 8))
+        assert [(s.name, seed) for s, seed, _ in cells] == [
+            ("a", 7), ("a", 8), ("b", 7), ("b", 8)
+        ]
+        for scenario, seed, config in cells:
+            assert config.seed == seed
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(SweepError, match="at least one scenario"):
+            ScenarioGrid(scenarios=())
+
+    def test_duplicate_scenario_names_rejected(self):
+        with pytest.raises(SweepError, match="duplicate scenario name"):
+            ScenarioGrid(scenarios=(Scenario(name="a"), Scenario(name="a")))
+
+    def test_configs_need_seeds(self):
+        grid = ScenarioGrid.baseline()
+        with pytest.raises(SweepError, match="at least one seed"):
+            grid.configs(BASE, ())
+
+    def test_baseline_grid(self):
+        grid = ScenarioGrid.baseline()
+        assert grid.name == "seeds-only"
+        assert len(grid.scenarios) == 1
+        assert grid.scenarios[0].overrides == {}
+
+    def test_payload_round_trip(self):
+        grid = ScenarioGrid(
+            scenarios=(
+                Scenario(name="a"),
+                Scenario(name="b", overrides={"n_dasu_users": 99}),
+            ),
+            name="g",
+            seeds=(3, 4),
+        )
+        assert ScenarioGrid.from_payload(grid.to_payload()) == grid
+
+    def test_from_payload_rejects_non_object(self):
+        with pytest.raises(SweepError, match="JSON object"):
+            ScenarioGrid.from_payload([1, 2])
+
+    def test_from_payload_rejects_unknown_keys(self):
+        with pytest.raises(SweepError, match="unknown keys"):
+            ScenarioGrid.from_payload({"scenarios": [{"name": "a"}], "sceanrios": []})
+
+    def test_from_payload_rejects_empty(self):
+        with pytest.raises(SweepError, match="no scenarios and no axes"):
+            ScenarioGrid.from_payload({"name": "g"})
+
+    def test_from_payload_rejects_bad_seeds(self):
+        with pytest.raises(SweepError, match="bad grid seeds"):
+            ScenarioGrid.from_payload(
+                {"scenarios": [{"name": "a"}], "seeds": ["x"]}
+            )
+
+
+class TestAxes:
+    def test_axes_expand_to_cartesian_product(self):
+        grid = ScenarioGrid.from_payload(
+            {
+                "axes": [
+                    {"field": "demand_growth_enabled", "values": [True, False]},
+                    {"field": "address_constraint_rate", "values": [0.0, 0.4]},
+                ]
+            }
+        )
+        names = [s.name for s in grid.scenarios]
+        assert names == [
+            "demand_growth_enabled=True,address_constraint_rate=0.0",
+            "demand_growth_enabled=True,address_constraint_rate=0.4",
+            "demand_growth_enabled=False,address_constraint_rate=0.0",
+            "demand_growth_enabled=False,address_constraint_rate=0.4",
+        ]
+        assert grid.scenarios[3].overrides == {
+            "demand_growth_enabled": False,
+            "address_constraint_rate": 0.4,
+        }
+
+    def test_faults_axis_sets_profile_not_override(self):
+        grid = ScenarioGrid.from_payload(
+            {"axes": [{"field": "faults", "values": ["off", "light"]}]}
+        )
+        assert [s.faults for s in grid.scenarios] == ["off", "light"]
+        assert all(s.overrides == {} for s in grid.scenarios)
+
+    def test_axes_append_after_explicit_scenarios(self):
+        grid = ScenarioGrid.from_payload(
+            {
+                "scenarios": [{"name": "hand-picked"}],
+                "axes": [{"field": "demand_growth_enabled", "values": [False]}],
+            }
+        )
+        assert [s.name for s in grid.scenarios] == [
+            "hand-picked", "demand_growth_enabled=False"
+        ]
+
+    def test_axis_requires_field_and_values(self):
+        with pytest.raises(SweepError, match="each axis must be"):
+            ScenarioGrid.from_payload({"axes": [{"field": "seed"}]})
+
+    def test_axis_with_no_values_rejected(self):
+        with pytest.raises(SweepError, match="has no values"):
+            ScenarioGrid.from_payload(
+                {"axes": [{"field": "demand_growth_enabled", "values": []}]}
+            )
+
+    def test_axis_unknown_field_rejected(self):
+        with pytest.raises(SweepError, match="not a sweepable"):
+            ScenarioGrid.from_payload(
+                {"axes": [{"field": "seed", "values": [1, 2]}]}
+            )
+
+
+class TestFromJson:
+    def test_loads_grid_file(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "file-grid",
+                    "scenarios": [
+                        {"name": "base"},
+                        {"name": "f", "faults": "light", "sanitize": True},
+                    ],
+                    "seeds": [11, 12],
+                }
+            )
+        )
+        grid = ScenarioGrid.from_json(path)
+        assert grid.name == "file-grid"
+        assert grid.seeds == (11, 12)
+        assert [s.name for s in grid.scenarios] == ["base", "f"]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SweepError, match="cannot read grid file"):
+            ScenarioGrid.from_json(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text("{not json")
+        with pytest.raises(SweepError, match="not valid JSON"):
+            ScenarioGrid.from_json(path)

@@ -1,0 +1,228 @@
+"""Metamorphic mechanism-direction tests.
+
+Each test flips exactly one generative knob of the world model and
+asserts two things against the shared ``metamorphic_sweep``:
+
+1. the experiment that the paper's causal story ties to that mechanism
+   moves in the predicted direction (usually: its "% H holds" collapses
+   toward the 50% chance level when the mechanism is removed), and
+2. experiments the mechanism does *not* drive stay inside the band the
+   baseline scenario's own seed spread establishes.
+
+Worlds are fully deterministic for a fixed (config, seed), so the
+thresholds below are not statistical tolerances: they are calibrated
+cushions around the measured effect at this fixture size (1,200
+households x 3 seeds), sized so that the assertions survive modest
+drift in the generative model but fail when a mechanism stops driving
+its experiment. Fractions are pooled across seeds by pair count —
+sum(fraction * n_pairs) / sum(n_pairs) — which is markedly more stable
+than any per-seed value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .conftest import METAMORPHIC_SEEDS
+
+#: Half-width of the "unrelated experiment" acceptance band, added on
+#: each side of the baseline scenario's per-seed min..max envelope.
+BAND_PAD = 0.06
+
+TABLE1_ROWS = ("Average usage", "Peak usage")
+TABLE8_HIGH_LOSS_ROWS = (
+    "(1%, 15%] vs (0%, 0.01%]",
+    "(1%, 15%] vs (0.01%, 0.1%]",
+)
+TABLE3_ROW = "($0, $25] vs ($25, $60]"
+
+
+def _rows(sweep, scenario, experiment, row):
+    out = [
+        v
+        for cell in sweep.cells_for(scenario)
+        for v in cell.verdicts
+        if v.experiment == experiment and v.row == row
+    ]
+    assert out, f"{scenario} produced no {experiment}/{row} rows"
+    return out
+
+
+def pooled(sweep, scenario, experiment, row) -> float:
+    """Pair-pooled '% H holds' for one experiment row in one scenario."""
+    rows = _rows(sweep, scenario, experiment, row)
+    total = sum(v.n_pairs for v in rows)
+    return sum(v.fraction_holds * v.n_pairs for v in rows) / total
+
+
+def per_seed(sweep, scenario, experiment, row) -> list[float]:
+    return [v.fraction_holds for v in _rows(sweep, scenario, experiment, row)]
+
+
+def baseline_band(sweep, experiment, row) -> tuple[float, float]:
+    values = per_seed(sweep, "baseline", experiment, row)
+    return min(values) - BAND_PAD, max(values) + BAND_PAD
+
+
+def headlines(sweep, scenario, name) -> list[float]:
+    cells = sweep.cells_for(scenario)
+    assert len(cells) == len(METAMORPHIC_SEEDS)
+    return [c.headline_value(name) for c in cells]
+
+
+def assert_in_band(sweep, scenario, experiment, row):
+    low, high = baseline_band(sweep, experiment, row)
+    value = pooled(sweep, scenario, experiment, row)
+    assert low <= value <= high, (
+        f"{scenario} moved unrelated {experiment}/{row} out of the "
+        f"baseline band: {value:.3f} not in [{low:.3f}, {high:.3f}]"
+    )
+
+
+class TestSweepShape:
+    def test_all_cells_present_with_no_skips(self, metamorphic_sweep):
+        assert len(metamorphic_sweep.cells) == 6 * len(METAMORPHIC_SEEDS)
+        assert all(not cell.skipped for cell in metamorphic_sweep.cells)
+
+    def test_baseline_usage_verdicts_hold_in_every_cell(self, metamorphic_sweep):
+        # Sanity anchor: at this size the paper's central result (more
+        # capacity -> more usage, Table 1) holds in every baseline cell.
+        for row in TABLE1_ROWS:
+            verdicts = _rows(metamorphic_sweep, "baseline", "table1", row)
+            assert all(v.rejects_null for v in verdicts), row
+
+
+class TestDemandGrowthDrivesUsageResult:
+    """No demand growth after upgrades -> Table 1 collapses to chance."""
+
+    def test_table1_collapses_toward_chance(self, metamorphic_sweep):
+        for row in TABLE1_ROWS:
+            base = pooled(metamorphic_sweep, "baseline", "table1", row)
+            off = pooled(metamorphic_sweep, "growth-off", "table1", row)
+            assert off < base - 0.08, (row, base, off)
+            assert abs(off - 0.5) < 0.10, (row, off)
+
+    def test_table1_verdicts_flip_off(self, metamorphic_sweep):
+        for row in TABLE1_ROWS:
+            verdicts = _rows(metamorphic_sweep, "growth-off", "table1", row)
+            assert not any(v.rejects_null for v in verdicts), row
+
+    def test_loss_experiment_unaffected(self, metamorphic_sweep):
+        for row in TABLE8_HIGH_LOSS_ROWS:
+            assert_in_band(metamorphic_sweep, "growth-off", "table8", row)
+
+    def test_demand_shrinks_without_growth(self, metamorphic_sweep):
+        base = headlines(metamorphic_sweep, "baseline", "mean_peak_utilization")
+        off = headlines(metamorphic_sweep, "growth-off", "mean_peak_utilization")
+        for b, o in zip(base, off):
+            assert o < b
+
+
+class TestQualitySuppressionDrivesLossResult:
+    """Quality no longer suppressing demand -> Table 8's high-loss rows
+    collapse, while peak demand itself rises."""
+
+    def test_high_loss_rows_collapse(self, metamorphic_sweep):
+        for row in TABLE8_HIGH_LOSS_ROWS:
+            base = pooled(metamorphic_sweep, "baseline", "table8", row)
+            off = pooled(metamorphic_sweep, "quality-off", "table8", row)
+            assert off < base - 0.12, (row, base, off)
+
+    def test_unsuppressed_demand_is_higher(self, metamorphic_sweep):
+        for name, margin in (
+            ("mean_peak_utilization", 0.02),
+            ("median_peak_mbps", 0.0),
+        ):
+            base = headlines(metamorphic_sweep, "baseline", name)
+            off = headlines(metamorphic_sweep, "quality-off", name)
+            for b, o in zip(base, off):
+                assert o > b + margin, (name, b, o)
+
+    def test_price_experiment_unaffected(self, metamorphic_sweep):
+        assert_in_band(metamorphic_sweep, "quality-off", "table3", TABLE3_ROW)
+
+
+class TestPriceSelectionDrivesPriceResult:
+    """Without price-aware plan selection, price no longer predicts
+    usage (Table 3 falls toward chance) and capacity stops sorting users
+    — the capacity-usage link (Table 1) attenuates too."""
+
+    def test_table3_falls_toward_chance(self, metamorphic_sweep):
+        base = pooled(metamorphic_sweep, "baseline", "table3", TABLE3_ROW)
+        off = pooled(metamorphic_sweep, "price-off", "table3", TABLE3_ROW)
+        assert base - 0.5 > 0.04, base  # the signal exists to begin with
+        assert (off - 0.5) < (base - 0.5) - 0.02, (base, off)
+        assert abs(off - 0.5) < 0.05, off
+
+    def test_table1_attenuates(self, metamorphic_sweep):
+        for row in TABLE1_ROWS:
+            base = pooled(metamorphic_sweep, "baseline", "table1", row)
+            off = pooled(metamorphic_sweep, "price-off", "table1", row)
+            assert off < base - 0.05, (row, base, off)
+
+    def test_decoupling_widens_matched_pairs(self, metamorphic_sweep):
+        # With plan choice independent of income, matched capacity pairs
+        # get easier to form: the Table 1 pair pool grows substantially.
+        def pairs(scenario):
+            return sum(
+                v.n_pairs
+                for cell in metamorphic_sweep.cells_for(scenario)
+                for v in cell.verdicts
+                if v.experiment == "table1"
+            )
+
+        assert pairs("price-off") > 1.2 * pairs("baseline")
+
+
+class TestSupplyConstraintsDriveUtilization:
+    """Constrained addresses cap attainable capacity: users sit closer
+    to their plan's ceiling without changing the usage experiments."""
+
+    def test_utilization_rises_capacity_falls(self, metamorphic_sweep):
+        for seed_i in range(len(METAMORPHIC_SEEDS)):
+            base_util = headlines(
+                metamorphic_sweep, "baseline", "mean_peak_utilization"
+            )[seed_i]
+            con_util = headlines(
+                metamorphic_sweep, "constrained", "mean_peak_utilization"
+            )[seed_i]
+            assert con_util > base_util + 0.03
+            base_cap = headlines(
+                metamorphic_sweep, "baseline", "median_capacity_mbps"
+            )[seed_i]
+            con_cap = headlines(
+                metamorphic_sweep, "constrained", "median_capacity_mbps"
+            )[seed_i]
+            assert con_cap < base_cap - 1.5
+
+    def test_usage_experiment_unaffected(self, metamorphic_sweep):
+        for row in TABLE1_ROWS:
+            assert_in_band(metamorphic_sweep, "constrained", "table1", row)
+
+
+class TestLightFaultsAreSanitizedAway:
+    """Light fault injection plus the sanitization stage must be close
+    to an identity transform on every verdict and headline."""
+
+    def test_usage_fractions_nearly_identical(self, metamorphic_sweep):
+        for row in TABLE1_ROWS:
+            base = per_seed(metamorphic_sweep, "baseline", "table1", row)
+            faulted = per_seed(metamorphic_sweep, "faulted", "table1", row)
+            for b, f in zip(base, faulted):
+                assert abs(b - f) < 0.05, (row, b, f)
+
+    def test_loss_rows_stay_in_band(self, metamorphic_sweep):
+        for row in TABLE8_HIGH_LOSS_ROWS:
+            assert_in_band(metamorphic_sweep, "faulted", "table8", row)
+
+    def test_few_users_lost(self, metamorphic_sweep):
+        base_cells = metamorphic_sweep.cells_for("baseline")
+        faulted_cells = metamorphic_sweep.cells_for("faulted")
+        for b, f in zip(base_cells, faulted_cells):
+            assert f.n_dasu_users >= 0.98 * b.n_dasu_users
+
+    def test_headlines_nearly_identical(self, metamorphic_sweep):
+        base = headlines(metamorphic_sweep, "baseline", "mean_peak_utilization")
+        faulted = headlines(metamorphic_sweep, "faulted", "mean_peak_utilization")
+        for b, f in zip(base, faulted):
+            assert f == pytest.approx(b, abs=0.01)

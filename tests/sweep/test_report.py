@@ -1,0 +1,187 @@
+"""The verdict-stability report (:mod:`repro.sweep.report`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.stats import wilson_interval
+from repro.datasets import WorldConfig
+from repro.sweep import (
+    CellResult,
+    Scenario,
+    ScenarioGrid,
+    SweepResult,
+    VerdictRow,
+    format_sweep_report,
+    stability_matrix,
+    sweep_payload,
+)
+
+BASE = WorldConfig(seed=1, n_dasu_users=50, n_fcc_users=0, days_per_year=1.0)
+
+
+def _verdict(experiment, row, fraction, holds):
+    return VerdictRow(
+        experiment=experiment,
+        row=row,
+        fraction_holds=fraction,
+        n_pairs=40,
+        p_value=0.01 if holds else 0.4,
+        significant=holds,
+        rejects_null=holds,
+    )
+
+
+def _cell(scenario, seed, verdicts, skipped=()):
+    return CellResult(
+        scenario=scenario,
+        seed=seed,
+        n_dasu_users=48,
+        n_fcc_users=0,
+        headline=(
+            ("median_capacity_mbps", 8.0),
+            ("median_peak_mbps", 0.7),
+            ("mean_peak_utilization", 0.25),
+        ),
+        verdicts=tuple(verdicts),
+        skipped=tuple(skipped),
+    )
+
+
+@pytest.fixture()
+def synthetic_sweep() -> SweepResult:
+    """Two scenarios x two seeds with hand-picked verdicts."""
+    grid = ScenarioGrid(
+        scenarios=(Scenario(name="baseline"), Scenario(name="variant")),
+        name="synthetic",
+    )
+    cells = (
+        _cell("baseline", 1, [
+            _verdict("table1", "Average usage", 0.70, True),
+            _verdict("table8", "high loss", 0.65, True),
+        ]),
+        _cell("baseline", 2, [
+            _verdict("table1", "Average usage", 0.60, True),
+            _verdict("table8", "high loss", 0.55, False),
+        ]),
+        _cell("variant", 1, [
+            _verdict("table1", "Average usage", 0.50, False),
+        ], skipped=["table8"]),
+        _cell("variant", 2, [
+            _verdict("table1", "Average usage", 0.45, False),
+        ], skipped=["table8"]),
+    )
+    return SweepResult(
+        grid=grid,
+        base_config=BASE,
+        seeds=(1, 2),
+        experiments=("table1", "table8"),
+        cells=cells,
+        n_cache_hits=3,
+    )
+
+
+class TestStabilityMatrix:
+    def test_aggregates_per_row(self, synthetic_sweep):
+        table1, table8 = stability_matrix(synthetic_sweep)
+        assert (table1.experiment, table1.row) == ("table1", "Average usage")
+        assert table1.n_cells == 4
+        assert table1.n_holds == 2
+        assert table1.stability == pytest.approx(0.5)
+        assert table1.mean_fraction_holds == pytest.approx(0.5625)
+        assert table1.min_fraction_holds == pytest.approx(0.45)
+        assert table1.max_fraction_holds == pytest.approx(0.70)
+        assert table1.spread == pytest.approx(0.25)
+        # table8 was skipped in the variant cells: only 2 cells count.
+        assert table8.n_cells == 2
+        assert table8.n_holds == 1
+
+    def test_wilson_matches_core_stats(self, synthetic_sweep):
+        row = stability_matrix(synthetic_sweep)[0]
+        assert row.wilson() == wilson_interval(row.n_holds, row.n_cells)
+
+    def test_rows_follow_experiment_registry_order(self, synthetic_sweep):
+        # Reverse the declared experiment order: the matrix must follow it.
+        reordered = SweepResult(
+            grid=synthetic_sweep.grid,
+            base_config=synthetic_sweep.base_config,
+            seeds=synthetic_sweep.seeds,
+            experiments=("table8", "table1"),
+            cells=synthetic_sweep.cells,
+        )
+        assert [r.experiment for r in stability_matrix(reordered)] == [
+            "table8", "table1"
+        ]
+
+
+class TestFormatReport:
+    def test_report_structure(self, synthetic_sweep):
+        text = format_sweep_report(synthetic_sweep)
+        assert "scenario sweep: synthetic" in text
+        assert "scenarios (2): baseline, variant" in text
+        assert "seeds (2): 1, 2" in text
+        assert "cells: 4" in text
+        assert "verdict stability" in text
+        assert "table1/Average usage" in text
+        assert "per-cell headlines" in text
+        assert "skipped experiments" in text
+        assert "table8: skipped in 2 of 4 cells" in text
+
+    def test_no_trailing_whitespace(self, synthetic_sweep):
+        for line in format_sweep_report(synthetic_sweep).splitlines():
+            assert line == line.rstrip()
+
+    def test_skip_section_absent_without_skips(self, synthetic_sweep):
+        cells = tuple(c for c in synthetic_sweep.cells if not c.skipped)
+        trimmed = SweepResult(
+            grid=synthetic_sweep.grid,
+            base_config=synthetic_sweep.base_config,
+            seeds=synthetic_sweep.seeds,
+            experiments=synthetic_sweep.experiments,
+            cells=cells,
+        )
+        assert "skipped experiments" not in format_sweep_report(trimmed)
+
+    def test_cache_accounting_never_in_report(self, synthetic_sweep):
+        assert "cache" not in format_sweep_report(synthetic_sweep)
+
+
+class TestPayload:
+    def test_payload_is_json_ready_and_complete(self, synthetic_sweep):
+        payload = sweep_payload(synthetic_sweep)
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped == payload
+        assert set(payload) == {
+            "grid", "seeds", "experiments", "stability", "cells"
+        }
+        assert payload["seeds"] == [1, 2]
+        assert len(payload["cells"]) == 4
+        assert payload["cells"][0]["scenario"] == "baseline"
+        assert payload["cells"][2]["skipped"] == ["table8"]
+
+    def test_stability_entries_match_matrix(self, synthetic_sweep):
+        payload = sweep_payload(synthetic_sweep)
+        rows = stability_matrix(synthetic_sweep)
+        assert len(payload["stability"]) == len(rows)
+        first = payload["stability"][0]
+        assert first["experiment"] == rows[0].experiment
+        assert first["stability"] == pytest.approx(rows[0].stability)
+        ci = rows[0].wilson()
+        assert first["stability_ci_low"] == pytest.approx(ci.low)
+        assert first["stability_ci_high"] == pytest.approx(ci.high)
+
+    def test_cache_hits_excluded_from_payload(self, synthetic_sweep):
+        assert "cache" not in json.dumps(sweep_payload(synthetic_sweep))
+
+    def test_cache_hits_excluded_from_equality(self, synthetic_sweep):
+        twin = SweepResult(
+            grid=synthetic_sweep.grid,
+            base_config=synthetic_sweep.base_config,
+            seeds=synthetic_sweep.seeds,
+            experiments=synthetic_sweep.experiments,
+            cells=synthetic_sweep.cells,
+            n_cache_hits=0,
+        )
+        assert twin == synthetic_sweep
