@@ -1,0 +1,93 @@
+"""Columnar hot paths vs the per-record object loops.
+
+The columnar data plane's claim is twofold: exact equivalence (held by
+the tier-1 suites) and speed. This benchmark measures the speed half on
+the paper-scale world — binned demand curves, matching eligibility, and
+a full matched experiment, each timed column-wise against the object
+path it replaces.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.common import (
+    binned_demand_curve,
+    demand_outcome,
+    demand_outcome_array,
+    matched_experiment,
+    matched_experiment_columns,
+)
+from repro.datasets import UserColumns
+
+from conftest import emit
+
+CONFOUNDERS = ("capacity", "latency", "loss")
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_binned_curve_columnar_speed(paper_world):
+    users = paper_world.dasu.users
+    columns = UserColumns.from_records(users)
+    by_objects, object_s = _timed(lambda: binned_demand_curve(users))
+    by_columns, column_s = _timed(lambda: binned_demand_curve(columns))
+    assert by_objects.points == by_columns.points
+    emit(
+        f"Binned demand curve ({len(users)} users)",
+        [
+            f"object loop: {object_s * 1e3:7.1f} ms",
+            f"columns:     {column_s * 1e3:7.1f} ms",
+            f"speedup:     x{object_s / max(column_s, 1e-9):.1f}",
+        ],
+    )
+
+
+def test_matched_experiment_columnar_speed(paper_world):
+    users = paper_world.dasu.users
+    control = [u for u in users if not u.bt_user]
+    treatment = [u for u in users if u.bt_user]
+    control_cols = UserColumns.from_records(control)
+    treatment_cols = UserColumns.from_records(treatment)
+    by_objects, object_s = _timed(
+        lambda: matched_experiment(
+            "bench", control, treatment, CONFOUNDERS,
+            demand_outcome("peak", include_bt=False),
+        )
+    )
+    by_columns, column_s = _timed(
+        lambda: matched_experiment_columns(
+            "bench", control_cols, treatment_cols, CONFOUNDERS,
+            demand_outcome_array("peak", include_bt=False),
+        )
+    )
+    assert by_objects.result == by_columns.result
+    emit(
+        f"Matched experiment ({len(control)} vs {len(treatment)} users)",
+        [
+            f"object loop: {object_s * 1e3:7.1f} ms",
+            f"columns:     {column_s * 1e3:7.1f} ms",
+            f"speedup:     x{object_s / max(column_s, 1e-9):.1f}",
+            f"pairs:       {by_columns.result.n_pairs}",
+        ],
+    )
+
+
+def test_columnar_memory_per_row(paper_world):
+    columns = paper_world.all_columns
+    per_row = columns.nbytes / max(columns.n_rows, 1)
+    emit(
+        f"Columnar footprint ({columns.n_users} users, "
+        f"{columns.n_rows} rows)",
+        [
+            f"array:     {columns.nbytes / 2**20:6.1f} MiB",
+            f"per row:   {per_row:6.0f} B",
+        ],
+    )
+    assert per_row == float(np.dtype(columns.rows.dtype).itemsize)

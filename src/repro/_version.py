@@ -6,4 +6,4 @@ incorporate the code version — can import it without creating an
 import cycle through the package root.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

@@ -24,8 +24,10 @@ from ..core.matching import (
     LOSS_MATCH_FLOOR,
     MatchingSummary,
     match_pairs,
+    match_pairs_arrays,
 )
 from ..core.stats import ConfidenceInterval, mean_confidence_interval, pearson_r
+from ..datasets.columns import UserColumns
 from ..datasets.records import UserRecord
 from ..exceptions import AnalysisError
 from ..obs import ledger as obs
@@ -33,11 +35,15 @@ from ..obs import ledger as obs
 __all__ = [
     "BinnedCurve",
     "BinnedCurvePoint",
+    "CONFOUNDER_COLUMNS",
     "CONFOUNDER_EXTRACTORS",
     "binned_demand_curve",
     "curve_correlation",
     "demand_outcome",
+    "demand_outcome_array",
+    "eligibility_mask",
     "matched_experiment",
+    "matched_experiment_columns",
     "standard_confounders",
 ]
 
@@ -75,6 +81,31 @@ CONFOUNDER_EXTRACTORS: dict[str, Callable[[UserRecord], float]] = {
     "loss": lambda u: max(u.loss_fraction, LOSS_MATCH_FLOOR),
     "price_of_access": lambda u: _market_value(u.price_of_access_usd),
     "upgrade_cost": lambda u: _market_value(u.upgrade_cost_usd_per_mbps),
+}
+
+
+def demand_outcome_array(
+    metric: str, include_bt: bool
+) -> Callable[[UserColumns], np.ndarray]:
+    """Columnar twin of :func:`demand_outcome`: one value per user."""
+    if metric not in ("mean", "peak"):
+        raise AnalysisError(f"unknown demand metric {metric!r}")
+
+    def outcome(users: UserColumns) -> np.ndarray:
+        return users.demand(metric=metric, include_bt=include_bt)
+
+    return outcome
+
+
+#: Columnar twins of :data:`CONFOUNDER_EXTRACTORS`: one array per pool,
+#: value-identical element-wise (missing market covariates are stored as
+#: NaN in the columns, exactly what ``_market_value`` produces).
+CONFOUNDER_COLUMNS: dict[str, Callable[[UserColumns], np.ndarray]] = {
+    "capacity": lambda c: c.capacity_down_mbps,
+    "latency": lambda c: c.latency_ms,
+    "loss": lambda c: np.maximum(c.loss_fraction, LOSS_MATCH_FLOOR),
+    "price_of_access": lambda c: c.price_of_access_usd,
+    "upgrade_cost": lambda c: c.upgrade_cost_usd_per_mbps,
 }
 
 
@@ -167,6 +198,84 @@ def matched_experiment(
     return MatchedExperimentResult(result=result, matching=matching)
 
 
+def eligibility_mask(
+    users: UserColumns,
+    confounders: Sequence[str],
+    outcome_values: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-user matching eligibility, computed column-wise.
+
+    The vectorized twin of the object path's per-user
+    ``_has_confounders(...) and isfinite(outcome(...))`` filter: every
+    confounder (and the outcome, when given) must be finite.
+    """
+    mask = np.ones(users.n_users, dtype=bool)
+    for name in confounders:
+        if name not in CONFOUNDER_COLUMNS:
+            raise AnalysisError(f"unknown confounder {name!r}")
+        mask &= np.isfinite(CONFOUNDER_COLUMNS[name](users))
+    if outcome_values is not None:
+        mask &= np.isfinite(np.asarray(outcome_values, dtype=float))
+    return mask
+
+
+def matched_experiment_columns(
+    name: str,
+    control: UserColumns,
+    treatment: UserColumns,
+    confounders: Sequence[str],
+    outcome: Callable[[UserColumns], np.ndarray],
+    caliper: float = DEFAULT_CALIPER,
+    hypothesis: str = "treatment increases demand",
+) -> MatchedExperimentResult:
+    """Columnar twin of :func:`matched_experiment`.
+
+    ``outcome`` maps a pool to one float per user (see
+    :func:`demand_outcome_array`). Eligibility filtering, matching, the
+    sign test, and the run-ledger accounting all operate on columns;
+    given pools whose per-user values equal the object path's (in the
+    same order), the verdicts and every counter are identical — the
+    equivalence tests in ``tests/analysis/test_columnar.py`` hold the
+    two paths together.
+    """
+    control_outcome = np.asarray(outcome(control), dtype=float)
+    treatment_outcome = np.asarray(outcome(treatment), dtype=float)
+    control_idx = np.flatnonzero(
+        eligibility_mask(control, confounders, control_outcome)
+    )
+    treatment_idx = np.flatnonzero(
+        eligibility_mask(treatment, confounders, treatment_outcome)
+    )
+    columns = [CONFOUNDER_COLUMNS[name_] for name_ in confounders]
+    matching = match_pairs_arrays(
+        [col(control)[control_idx] for col in columns],
+        [col(treatment)[treatment_idx] for col in columns],
+        caliper=caliper,
+    )
+    experiment = NaturalExperiment(name=name, hypothesis=hypothesis)
+    result = experiment.evaluate(
+        PairedOutcome(
+            float(control_outcome[control_idx[pair.control]]),
+            float(treatment_outcome[treatment_idx[pair.treatment]]),
+        )
+        for pair in matching.pairs
+    )
+    obs.count("experiments.run")
+    obs.count(
+        "experiments.users_excluded",
+        (control.n_users - int(control_idx.size))
+        + (treatment.n_users - int(treatment_idx.size)),
+    )
+    obs.count("experiments.pairs", result.n_pairs)
+    obs.count("experiments.ties", result.n_ties)
+    obs.count(
+        "experiments.verdicts.rejects_null"
+        if result.rejects_null
+        else "experiments.verdicts.null_retained"
+    )
+    return MatchedExperimentResult(result=result, matching=matching)
+
+
 @dataclass(frozen=True)
 class BinnedCurvePoint:
     """One capacity class of a demand curve."""
@@ -203,15 +312,26 @@ class BinnedCurve:
 
 
 def binned_demand_curve(
-    users: Sequence[UserRecord],
+    users: "Sequence[UserRecord] | UserColumns",
     metric: str = "mean",
     include_bt: bool = True,
     spec: BinSpec | None = None,
     min_users: int = _MIN_BIN_USERS,
 ) -> BinnedCurve:
-    """Group users into capacity classes and average their demand."""
+    """Group users into capacity classes and average their demand.
+
+    Accepts either a record sequence or a columnar dataset; the
+    columnar path bins and averages whole columns
+    (:meth:`BinSpec.index_of_array`) and produces a value-identical
+    curve — members enter each bin in user order either way, so the
+    per-bin mean and CI see the same floats in the same order.
+    """
     if spec is None:
         spec = capacity_class_spec()
+    if isinstance(users, UserColumns):
+        return _binned_demand_curve_columns(
+            users, metric, include_bt, spec, min_users
+        )
     outcome = demand_outcome(metric, include_bt)
     grouped = spec.group((u.capacity_down_mbps, u) for u in users)
     points = []
@@ -230,6 +350,32 @@ def binned_demand_curve(
                 n_users=len(members),
                 average=float(np.mean(values)),
                 ci=mean_confidence_interval(values),
+            )
+        )
+    return BinnedCurve(metric=metric, include_bt=include_bt, points=tuple(points))
+
+
+def _binned_demand_curve_columns(
+    users: UserColumns,
+    metric: str,
+    include_bt: bool,
+    spec: BinSpec,
+    min_users: int,
+) -> BinnedCurve:
+    values = demand_outcome_array(metric, include_bt)(users)
+    bin_index = spec.index_of_array(users.capacity_down_mbps)
+    finite = np.isfinite(values)
+    points = []
+    for i, bin_ in enumerate(spec):
+        members = values[(bin_index == i) & finite]
+        if members.size < min_users:
+            continue
+        points.append(
+            BinnedCurvePoint(
+                bin=bin_,
+                n_users=int(members.size),
+                average=float(np.mean(members)),
+                ci=mean_confidence_interval(members),
             )
         )
     return BinnedCurve(metric=metric, include_bt=include_bt, points=tuple(points))

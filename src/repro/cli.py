@@ -74,11 +74,13 @@ from .obs.manifest import run_manifest, write_manifest
 from .datasets.io import (
     read_survey_csv,
     read_users_csv,
+    read_users_npy,
     write_config_json,
     write_survey_csv,
     write_users_csv,
+    write_users_npy,
 )
-from .exceptions import ReproError
+from .exceptions import DatasetError, ReproError
 
 __all__ = ["main"]
 
@@ -143,8 +145,10 @@ def _build(args: argparse.Namespace) -> int:
     print(f"building world (seed={config.seed}, {config.n_dasu_users} "
           f"Dasu users, jobs={jobs})...", flush=True)
     ledger = RunLedger()
-    world = build_world(config, jobs=jobs, ledger=ledger)
-    n_users = write_users_csv(world.all_users, out / "users.csv")
+    world = build_world(config, jobs=jobs, ledger=ledger, ground_truth=False)
+    columns = world.all_columns
+    n_users = write_users_csv(columns, out / "users.csv")
+    write_users_npy(columns, out / "users.npy")
     n_plans = write_survey_csv(world.survey, out / "survey.csv")
     write_config_json(config, out / "config.json")
     if world.sanitization is not None:
@@ -166,9 +170,22 @@ def _build(args: argparse.Namespace) -> int:
 
 def _load(data_dir: Path):
     users_path = data_dir / "users.csv"
-    if not users_path.exists():
-        raise ReproError(f"no users.csv under {data_dir}")
-    users = read_users_csv(users_path)
+    npy_path = data_dir / "users.npy"
+    users = None
+    if npy_path.exists():
+        # Columnar shard, when present, is the fast path: no CSV parsing
+        # and full-precision hourly profiles (the CSV stores them at %.6g).
+        # Sorting by user_id matches read_users_csv's return order.
+        try:
+            columns = read_users_npy(npy_path)
+        except DatasetError:
+            columns = None  # unreadable/foreign shard: fall back to CSV
+        if columns is not None:
+            users = sorted(columns.to_records(), key=lambda u: u.user_id)
+    if users is None:
+        if not users_path.exists():
+            raise ReproError(f"no users.csv under {data_dir}")
+        users = read_users_csv(users_path)
     dasu = [u for u in users if u.source == "dasu"]
     fcc = [u for u in users if u.source == "fcc"]
     survey = None
@@ -352,7 +369,9 @@ def _report(args: argparse.Namespace) -> int:
             print(f"building world (seed={config.seed}, "
                   f"{config.n_dasu_users} Dasu users, jobs={jobs})...",
                   flush=True)
-            world = build_world(config, jobs=jobs, ledger=ledger)
+            world = build_world(
+                config, jobs=jobs, ledger=ledger, ground_truth=False
+            )
             if not args.no_cache:
                 cache.store(world)
         dasu, fcc, survey = world.dasu.users, world.fcc.users, world.survey

@@ -15,6 +15,8 @@ import numbers
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from ..exceptions import BinningError
 
 __all__ = [
@@ -139,6 +141,9 @@ class BinSpec:
                     f"bins overlap: {left.label()} and {right.label()}"
                 )
         self._bins = tuple(ordered)
+        # Precomputed edge arrays for the vectorized lookup.
+        self._lows = np.array([b.low for b in ordered], dtype=float)
+        self._highs = np.array([b.high for b in ordered], dtype=float)
 
     @property
     def bins(self) -> tuple[Bin, ...]:
@@ -159,6 +164,25 @@ class BinSpec:
             if value in b:
                 return i
         return None
+
+    def index_of_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`index_of`: bin index per value, ``-1`` for
+        values outside every bin (gaps, NaN, out of range).
+
+        Agrees with the scalar path on every input, including exact bin
+        edges — ``searchsorted(side="left")`` locates the candidate bin
+        for the ``(low, high]`` convention (a value equal to ``low``
+        belongs to the previous bin), and an explicit membership check
+        handles gaps between bins, ±inf, and NaN (all comparisons
+        False ⇒ -1).
+        """
+        values = np.asarray(values, dtype=float)
+        candidate = np.searchsorted(self._lows, values, side="left") - 1
+        clipped = np.clip(candidate, 0, len(self._bins) - 1)
+        inside = (values > self._lows[clipped]) & (
+            values <= self._highs[clipped]
+        )
+        return np.where(inside & (candidate >= 0), clipped, -1)
 
     def bin_of(self, value: float) -> Bin | None:
         """The bin containing ``value``, or ``None``."""

@@ -32,6 +32,7 @@ __all__ = [
     "caliper_compatible",
     "candidate_chunk_rows",
     "match_pairs",
+    "match_pairs_arrays",
 ]
 
 T = TypeVar("T")
@@ -87,17 +88,20 @@ def caliper_compatible(a: float, b: float, caliper: float = DEFAULT_CALIPER) -> 
     both values at :data:`ZERO_FLOOR` so that pairs of effectively-zero
     values (e.g. two loss-free lines) are compatible.
 
-    NaN confounders are rejected with :class:`MatchingError` rather than
-    silently falling through the comparisons: a NaN here means an
-    upstream eligibility filter failed (missing market covariates
-    surface as NaN — see :func:`repro.analysis.common._market_value` —
-    and must be excluded *before* matching).
+    Non-finite confounders are rejected with :class:`MatchingError`
+    rather than silently falling through the comparisons: a NaN here
+    means an upstream eligibility filter failed (missing market
+    covariates surface as NaN — see
+    :func:`repro.analysis.common._market_value` — and must be excluded
+    *before* matching), and an infinity is equally meaningless — two
+    ``inf`` values would satisfy ``inf <= 1.25 * inf`` and "match"
+    despite carrying no information about similarity.
     """
     if caliper <= 0:
         raise MatchingError(f"caliper must be positive, got {caliper}")
-    if math.isnan(a) or math.isnan(b):
+    if not (math.isfinite(a) and math.isfinite(b)):
         raise MatchingError(
-            f"confounders must not be NaN, got {a}, {b} "
+            f"confounders must be finite, got {a}, {b} "
             "(exclude users with missing covariates before matching)"
         )
     if a < 0 or b < 0:
@@ -154,14 +158,20 @@ def _confounder_matrix(
             dtype=float,
             count=len(units),
         )
-        invalid = np.isnan(values) | (values < 0)
-        if invalid.any():
-            value = float(values[int(np.argmax(invalid))])
-            raise MatchingError(
-                f"confounder {extract!r} produced invalid value {value!r}"
-            )
-        columns.append(np.log(np.maximum(values, ZERO_FLOOR)))
+        columns.append(_log_confounder_column(values, repr(extract)))
     return np.column_stack(columns).reshape(len(units), len(confounders))
+
+
+def _log_confounder_column(values: np.ndarray, label: str) -> np.ndarray:
+    """Validate one confounder column (finite, non-negative) and take it
+    to log space; shared by the object and columnar matching paths."""
+    invalid = ~np.isfinite(values) | (values < 0)
+    if invalid.any():
+        value = float(values[int(np.argmax(invalid))])
+        raise MatchingError(
+            f"confounder {label} produced invalid value {value!r}"
+        )
+    return np.log(np.maximum(values, ZERO_FLOOR))
 
 
 def match_pairs(
@@ -208,15 +218,128 @@ def match_pairs(
 
     log_c = _confounder_matrix(control, confounders)
     log_t = _confounder_matrix(treatment, confounders)
+    accepted, n_candidates = _greedy_index_pairs(
+        log_c, log_t, caliper, max_pairs
+    )
+    return _accounted(
+        MatchingSummary(
+            pairs=tuple(
+                MatchedPair(control[c], treatment[t], dist)
+                for c, t, dist in accepted
+            ),
+            n_control=len(control),
+            n_treatment=len(treatment),
+            caliper=caliper,
+        ),
+        n_candidates,
+    )
+
+
+def match_pairs_arrays(
+    control_confounders: Sequence[np.ndarray],
+    treatment_confounders: Sequence[np.ndarray],
+    caliper: float = DEFAULT_CALIPER,
+    max_pairs: int | None = None,
+) -> MatchingSummary[int, int]:
+    """Columnar twin of :func:`match_pairs`: one array per confounder.
+
+    Each sequence holds one 1-D float array per confounder (all the same
+    length within a pool); the returned pairs carry *indices* into the
+    pools instead of unit objects. Given the same values in the same
+    order, the accepted (control, treatment) index pairs — and the
+    run-ledger accounting — are identical to the object path's, because
+    both run the same validated log-space greedy core.
+    """
+    if not control_confounders or not treatment_confounders:
+        raise MatchingError("at least one confounder is required")
+    if len(control_confounders) != len(treatment_confounders):
+        raise MatchingError(
+            "control and treatment must share the same confounder set"
+        )
+
+    def _matrix(arrays: Sequence[np.ndarray], pool: str) -> np.ndarray:
+        columns = []
+        n_units = None
+        for i, values in enumerate(arrays):
+            values = np.asarray(values, dtype=float)
+            if values.ndim != 1:
+                raise MatchingError(
+                    f"{pool} confounder column {i} must be 1-D"
+                )
+            if n_units is None:
+                n_units = values.size
+            elif values.size != n_units:
+                raise MatchingError(
+                    f"{pool} confounder columns disagree on pool size"
+                )
+            columns.append(
+                _log_confounder_column(values, f"column {i} ({pool})")
+            )
+        return np.column_stack(columns).reshape(n_units, len(arrays))
+
+    log_c = _matrix(control_confounders, "control")
+    log_t = _matrix(treatment_confounders, "treatment")
+    n_control, n_treatment = log_c.shape[0], log_t.shape[0]
+
+    def _accounted(summary: MatchingSummary, n_candidates: int) -> MatchingSummary:
+        obs.count("matching.runs")
+        obs.count("matching.pool.control", summary.n_control)
+        obs.count("matching.pool.treatment", summary.n_treatment)
+        obs.count("matching.candidates", n_candidates)
+        obs.count("matching.pairs", summary.n_matched)
+        return summary
+
+    if n_control == 0 or n_treatment == 0:
+        return _accounted(
+            MatchingSummary(
+                pairs=(), n_control=n_control, n_treatment=n_treatment,
+                caliper=caliper,
+            ),
+            0,
+        )
+    if caliper <= 0:
+        raise MatchingError(f"caliper must be positive, got {caliper}")
+    accepted, n_candidates = _greedy_index_pairs(
+        log_c, log_t, caliper, max_pairs
+    )
+    return _accounted(
+        MatchingSummary(
+            pairs=tuple(
+                MatchedPair(c, t, dist) for c, t, dist in accepted
+            ),
+            n_control=n_control,
+            n_treatment=n_treatment,
+            caliper=caliper,
+        ),
+        n_candidates,
+    )
+
+
+def _greedy_index_pairs(
+    log_c: np.ndarray,
+    log_t: np.ndarray,
+    caliper: float,
+    max_pairs: int | None,
+) -> tuple[list[tuple[int, int, float]], int]:
+    """The deterministic globally-greedy core, over log-space matrices.
+
+    Returns accepted ``(control_index, treatment_index, distance)``
+    triples (in acceptance order) and the caliper-compatible candidate
+    count. The ``lexsort`` tie-break on (distance, control, treatment)
+    makes the result a pure function of the matrices, which is what lets
+    the object and columnar paths guarantee identical pairs.
+    """
     limit = math.log(1.0 + caliper)
+    n_control, n_confounders = log_c.shape
+    n_treatment = log_t.shape[0]
 
     # Enumerate caliper-compatible candidate pairs in chunks of control rows
     # so peak memory stays bounded for large pools.
-    chunk = candidate_chunk_rows(len(treatment), len(confounders))
+    chunk = candidate_chunk_rows(n_treatment, n_confounders)
     ci_parts: list[np.ndarray] = []
     ti_parts: list[np.ndarray] = []
     dist_parts: list[np.ndarray] = []
-    for start in range(0, len(control), chunk):
+    for start in range(0, n_control, chunk):
         block = log_c[start : start + chunk]
         # |log a - log b| per (control, treatment, confounder).
         diff = np.abs(block[:, None, :] - log_t[None, :, :])
@@ -227,33 +350,23 @@ def match_pairs(
             ti_parts.append(cols)
             dist_parts.append(diff.sum(axis=2)[rows, cols])
     if not ci_parts:
-        return _accounted(summary_empty, 0)
+        return [], 0
     ci = np.concatenate(ci_parts)
     ti = np.concatenate(ti_parts)
     pair_distance = np.concatenate(dist_parts)
     order = np.lexsort((ti, ci, pair_distance))
 
-    used_control = np.zeros(len(control), dtype=bool)
-    used_treatment = np.zeros(len(treatment), dtype=bool)
-    pairs: list[MatchedPair] = []
+    used_control = np.zeros(n_control, dtype=bool)
+    used_treatment = np.zeros(n_treatment, dtype=bool)
+    accepted: list[tuple[int, int, float]] = []
     budget = ci.size if max_pairs is None else max_pairs
     for idx in order:
-        if len(pairs) >= budget:
+        if len(accepted) >= budget:
             break
         c, t = int(ci[idx]), int(ti[idx])
         if used_control[c] or used_treatment[t]:
             continue
         used_control[c] = True
         used_treatment[t] = True
-        pairs.append(
-            MatchedPair(control[c], treatment[t], float(pair_distance[idx]))
-        )
-    return _accounted(
-        MatchingSummary(
-            pairs=tuple(pairs),
-            n_control=len(control),
-            n_treatment=len(treatment),
-            caliper=caliper,
-        ),
-        int(ci.size),
-    )
+        accepted.append((c, t, float(pair_distance[idx])))
+    return accepted, int(ci.size)

@@ -5,7 +5,10 @@
 * :mod:`repro.datasets.world` — the world configuration and container;
 * :mod:`repro.datasets.builder` — the end-to-end generator: markets,
   populations, traffic, measurement clients, record assembly;
-* :mod:`repro.datasets.io` — CSV/JSON persistence for the generated
+* :mod:`repro.datasets.columns` — the columnar data plane: user-period
+  rows as a numpy structured array, the storage behind million-household
+  worlds;
+* :mod:`repro.datasets.io` — CSV/JSON/npy persistence for the generated
   datasets;
 * :mod:`repro.datasets.sanitize` — the hardened ingest/cleaning stage
   (the paper's data-cleaning rules, with per-rule accounting);
@@ -15,12 +18,27 @@
 
 from .builder import build_world
 from .cache import WorldCache, build_or_load_world, cache_key
+from .columns import (
+    COLUMNS_FORMAT_VERSION,
+    ROW_DTYPE,
+    UserColumns,
+    records_to_rows,
+    rows_to_records,
+)
 from .records import PeriodObservation, UserRecord, period_year
-from .sanitize import SanitizationReport, ingest_users, sanitize_users
+from .sanitize import (
+    SanitizationReport,
+    ingest_users,
+    sanitize_columns,
+    sanitize_users,
+)
 from .traces import UsageTrace, read_traces_npz, write_traces_npz
 from .world import DasuDataset, FccDataset, World, WorldConfig
 
 __all__ = [
+    "COLUMNS_FORMAT_VERSION",
+    "ROW_DTYPE",
+    "UserColumns",
     "DasuDataset",
     "FccDataset",
     "PeriodObservation",
@@ -36,6 +54,9 @@ __all__ = [
     "ingest_users",
     "period_year",
     "read_traces_npz",
+    "records_to_rows",
+    "rows_to_records",
+    "sanitize_columns",
     "sanitize_users",
     "write_traces_npz",
 ]

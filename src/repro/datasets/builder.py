@@ -51,11 +51,12 @@ from ..network.link import AccessLink, provision_link
 from ..network.path import NetworkPath, build_path
 from ..network.technology import sample_technology
 from ..traffic.generator import generate_usage_series
+from .columns import UserColumns, records_to_rows
 from .records import PeriodObservation, UserRecord, hourly_profile
 from .sanitize import (
     SanitizationReport,
+    sanitize_columns,
     sanitize_samples,
-    sanitize_users,
     strip_sentinels,
 )
 from .traces import UsageTrace
@@ -616,8 +617,9 @@ class _BuildContext:
     """World-level deterministic state, rebuilt identically in every
     worker process from the configuration alone."""
 
-    def __init__(self, config: WorldConfig) -> None:
+    def __init__(self, config: WorldConfig, ground_truth: bool = True) -> None:
         self.config = config
+        self.ground_truth = ground_truth
         market_rng = np.random.default_rng([config.seed, _MARKET_STREAM])
         self.profiles = build_profiles(
             market_rng, include_synthetic=config.include_synthetic_countries
@@ -678,16 +680,24 @@ def _plan_chunks(
     return specs
 
 
-_ChunkUsers = list[tuple[UserRecord, LatentUser, tuple[UsageTrace, ...]]]
-_ChunkResult = tuple[_ChunkUsers, "SanitizationReport | None"]
+#: One chunk's yield, columnized at the worker: the surviving users'
+#: period rows (builder append order preserved), plus ground-truth
+#: latents and raw traces keyed by user id — both usually empty/tiny, so
+#: the pickled payload is one compact array instead of an object list.
+_ChunkColumns = tuple[
+    np.ndarray,
+    tuple[tuple[str, LatentUser], ...],
+    tuple[tuple[str, tuple[UsageTrace, ...]], ...],
+]
+_ChunkResult = tuple[_ChunkColumns, "SanitizationReport | None"]
 
 
 def _simulate_chunk(context: _BuildContext, spec: _ChunkSpec) -> _ChunkResult:
     """Simulate one chunk of households; shared by serial and parallel
     paths, so the two are equivalent by construction.
 
-    Returns the chunk's surviving users plus its share of the
-    sample-level sanitization accounting (``None`` unless
+    Returns the chunk's surviving users as a columnar block plus its
+    share of the sample-level sanitization accounting (``None`` unless
     ``config.sanitize``); counters are merged across chunks by addition,
     so the totals are identical for every chunking.
     """
@@ -696,7 +706,9 @@ def _simulate_chunk(context: _BuildContext, spec: _ChunkSpec) -> _ChunkResult:
     market = context.survey.market(spec.country)
     cities = context.cities_for(spec.stream, spec.country_index)
     report = SanitizationReport() if config.sanitize else None
-    results: _ChunkUsers = []
+    records: list[UserRecord] = []
+    latents: list[tuple[str, LatentUser]] = []
+    traces: list[tuple[str, tuple[UsageTrace, ...]]] = []
     with obs.span(
         f"build/chunk/{spec.source}/{spec.country}/{spec.start:05d}"
     ):
@@ -719,18 +731,24 @@ def _simulate_chunk(context: _BuildContext, spec: _ChunkSpec) -> _ChunkResult:
             outcome = simulator.simulate_user(
                 f"{spec.source}-{spec.country}-{user_index:05d}"
             )
-            if outcome is not None:
-                results.append(outcome)
-    return results, report
+            if outcome is None:
+                continue
+            record, latent, user_traces = outcome
+            records.append(record)
+            if context.ground_truth:
+                latents.append((record.user_id, latent))
+            if user_traces:
+                traces.append((record.user_id, user_traces))
+    return (records_to_rows(records), tuple(latents), tuple(traces)), report
 
 
 #: Per-process build context for pool workers (set by ``_worker_init``).
 _WORKER_CONTEXT: _BuildContext | None = None
 
 
-def _worker_init(config: WorldConfig) -> None:
+def _worker_init(config: WorldConfig, ground_truth: bool = True) -> None:
     global _WORKER_CONTEXT
-    _WORKER_CONTEXT = _BuildContext(config)
+    _WORKER_CONTEXT = _BuildContext(config, ground_truth)
 
 
 def _worker_chunk(spec: _ChunkSpec) -> _ChunkResult:
@@ -744,12 +762,18 @@ def build_world(
     jobs: int | None = 1,
     chunk_size: int | None = None,
     ledger: RunLedger | None = None,
+    ground_truth: bool = True,
 ) -> World:
     """Build a complete synthetic world from a configuration.
 
     ``jobs`` shards the per-household simulation across that many worker
     processes (``None`` = one per CPU); the result is bit-identical for
     every ``jobs`` and ``chunk_size`` value.
+
+    ``ground_truth=False`` skips retaining the per-household latent
+    users — they are never persisted or analyzed, only compared against
+    in tests — which keeps large-world builds free of the one
+    O(households) object collection that remains.
 
     The build accounts for itself in a :class:`~repro.obs.ledger.
     RunLedger` (pass one to accumulate across stages, or let the builder
@@ -766,7 +790,7 @@ def build_world(
     if ledger is None:
         ledger = RunLedger()
 
-    context = _BuildContext(config)
+    context = _BuildContext(config, ground_truth)
     specs = _plan_chunks(config, context.profiles, size)
     if n_jobs == 1:
         # Serial path: record straight into the run ledger (the ambient
@@ -781,43 +805,48 @@ def build_world(
             specs,
             jobs=n_jobs,
             initializer=_worker_init,
-            initargs=(config,),
+            initargs=(config, ground_truth),
             ledger=ledger,
         )
 
-    dasu_users: list[UserRecord] = []
-    fcc_users: list[UserRecord] = []
-    ground_truth: dict[str, LatentUser] = {}
+    # Concatenate column chunks in spec (submission) order — exactly the
+    # append order of the old object path, so the world is byte-for-byte
+    # the same for every jobs/chunk_size value.
+    dasu_parts: list[np.ndarray] = []
+    fcc_parts: list[np.ndarray] = []
+    latents: dict[str, LatentUser] = {}
     traces: dict[str, tuple[UsageTrace, ...]] = {}
     report = SanitizationReport() if config.sanitize else None
-    for spec, (results, chunk_report) in zip(specs, chunk_results):
+    for spec, ((rows, chunk_latents, chunk_traces), chunk_report) in zip(
+        specs, chunk_results
+    ):
         if report is not None and chunk_report is not None:
             report.merge(chunk_report)
-        bucket = dasu_users if spec.source == "dasu" else fcc_users
-        for record, latent, user_traces in results:
-            bucket.append(record)
-            ground_truth[record.user_id] = latent
-            if user_traces:
-                traces[record.user_id] = user_traces
+        (dasu_parts if spec.source == "dasu" else fcc_parts).append(rows)
+        latents.update(chunk_latents)
+        traces.update(chunk_traces)
+    dasu_columns = UserColumns.concat(dasu_parts)
+    fcc_columns = UserColumns.concat(fcc_parts)
+    del dasu_parts, fcc_parts, chunk_results
 
     if report is not None:
         # Record-level cleaning pass (period dedup, NDT-failure and
-        # invalid-value exclusion, minimum observed days per host).
-        dasu_users, report = sanitize_users(
-            dasu_users,
+        # invalid-value exclusion, minimum observed days per host),
+        # streamed user-by-user over the columns.
+        dasu_columns, report = sanitize_columns(
+            dasu_columns,
             dasu_interval_s=config.sample_interval_s,
             report=report,
         )
-        fcc_users, report = sanitize_users(
-            fcc_users,
+        fcc_columns, report = sanitize_columns(
+            fcc_columns,
             dasu_interval_s=config.sample_interval_s,
             report=report,
         )
-        kept = {u.user_id for u in dasu_users} | {
-            u.user_id for u in fcc_users
-        }
-        ground_truth = {k: v for k, v in ground_truth.items() if k in kept}
-        traces = {k: v for k, v in traces.items() if k in kept}
+        if latents or traces:
+            kept = set(dasu_columns.user_ids) | set(fcc_columns.user_ids)
+            latents = {k: v for k, v in latents.items() if k in kept}
+            traces = {k: v for k, v in traces.items() if k in kept}
         # Bridge the *final* report (sample- and record-level rules both
         # folded in) into the ledger, so the trace's ``sanitize.*``
         # counters equal the persisted ``sanitization.json`` exactly.
@@ -825,21 +854,19 @@ def build_world(
             ledger.count(name, value)
 
     ledger.count("build.chunks", len(specs))
-    ledger.count("build.users.dasu", len(dasu_users))
-    ledger.count("build.users.fcc", len(fcc_users))
+    ledger.count("build.users.dasu", dasu_columns.n_users)
+    ledger.count("build.users.fcc", fcc_columns.n_users)
     ledger.count(
-        "build.periods.kept",
-        sum(len(u.observations) for u in dasu_users)
-        + sum(len(u.observations) for u in fcc_users),
+        "build.periods.kept", dasu_columns.n_rows + fcc_columns.n_rows
     )
 
     return World(
         config=config,
         profiles=context.profile_map,
         survey=context.survey,
-        dasu=DasuDataset(users=tuple(dasu_users)),
-        fcc=FccDataset(users=tuple(fcc_users)),
-        ground_truth=ground_truth,
+        dasu=DasuDataset(columns=dasu_columns),
+        fcc=FccDataset(columns=fcc_columns),
+        ground_truth=latents,
         traces=traces,
         sanitization=report,
         ledger=ledger,

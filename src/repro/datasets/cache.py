@@ -10,9 +10,15 @@ change to either the knobs or the generator code invalidates the entry.
 
 Each entry is a directory ``<root>/<key>/`` holding exactly the files
 the CLI's ``build`` command writes (``users.csv``, ``survey.csv``,
-``config.json``), written atomically via a temp directory + rename.
-Corrupt or unreadable entries are treated as misses — the caller falls
-back to a clean build, never crashes.
+``config.json``, plus the columnar ``users.npy`` shard and its
+``users.npy.json`` manifest), written atomically via a temp directory +
+rename. Corrupt or unreadable entries are treated as misses — the
+caller falls back to a clean build, never crashes.
+
+Hits load through the memory-mapped ``users.npy`` when its manifest
+validates (row count, schema version, and the byte size of the CSV it
+was written beside); otherwise they fall back to parsing ``users.csv``,
+so pre-columnar or npy-damaged entries still hit.
 
 Cached worlds carry **records only**: latent ground-truth users and raw
 traces are not persisted, so :func:`WorldCache.load` returns a
@@ -39,14 +45,17 @@ from ..market.countries import build_profiles
 from ..market.survey import PlanSurvey
 from ..obs.ledger import RunLedger
 from .builder import build_world
+from .columns import COLUMNS_FORMAT_VERSION, UserColumns
 from .io import (
     config_payload,
     read_config_json,
     read_survey_csv,
     read_users_csv,
+    read_users_npy,
     write_config_json,
     write_survey_csv,
     write_users_csv,
+    write_users_npy,
 )
 from .records import UserRecord
 from .sanitize import SanitizationReport
@@ -63,6 +72,10 @@ __all__ = [
 CACHE_FORMAT_VERSION = 1
 
 _ENTRY_FILES = ("users.csv", "survey.csv", "config.json")
+#: The columnar fast path: the same rows as ``users.csv``, loadable as
+#: an mmap, plus a manifest tying it to the CSV it was written beside.
+_COLUMNS_FILE = "users.npy"
+_COLUMNS_META = "users.npy.json"
 #: Present only in entries built with ``config.sanitize`` enabled.
 _REPORT_FILE = "sanitization.json"
 #: The build-stage run ledger (see :mod:`repro.obs`), serialized as the
@@ -84,7 +97,10 @@ def cache_key(config: WorldConfig) -> str:
     payload = config_payload(config)
     payload["__package_version__"] = __version__
     payload["__cache_format__"] = CACHE_FORMAT_VERSION
-    blob = json.dumps(payload, sort_keys=True, default=str)
+    # No default= fallback: config_payload canonicalizes to JSON-native
+    # types and raises on anything else, so a key can never be built
+    # from an unstable str() rendering.
+    blob = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
@@ -123,6 +139,36 @@ def _world_from_records(
     )
 
 
+def _world_from_columns(
+    config: WorldConfig,
+    columns: UserColumns,
+    survey: PlanSurvey,
+    sanitization: SanitizationReport | None = None,
+    ledger: RunLedger | None = None,
+) -> World:
+    """Reassemble a records-only :class:`World` from a columnar shard.
+
+    Rows keep the builder's order (dasu first), so the datasets are
+    value-identical to the world that was stored; records materialize
+    lazily only for callers that iterate them.
+    """
+    profiles = build_profiles(
+        np.random.default_rng([config.seed, 1]),
+        include_synthetic=config.include_synthetic_countries,
+    )
+    return World(
+        config=config,
+        profiles={p.name: p for p in profiles},
+        survey=survey,
+        dasu=DasuDataset(columns=columns.select_users(columns.source_mask("dasu"))),
+        fcc=FccDataset(columns=columns.select_users(columns.source_mask("fcc"))),
+        ground_truth={},
+        traces={},
+        sanitization=sanitization,
+        ledger=ledger,
+    )
+
+
 class WorldCache:
     """A directory of persisted worlds, one entry per cache key."""
 
@@ -150,7 +196,6 @@ class WorldCache:
             stored = read_config_json(entry / "config.json")
             if stored != config:
                 return None
-            users = read_users_csv(entry / "users.csv")
             survey = read_survey_csv(entry / "survey.csv")
             report = None
             if config.sanitize:
@@ -164,7 +209,38 @@ class WorldCache:
         except (ReproError, OSError, ValueError, KeyError, TypeError):
             # Unreadable, truncated, or schema-mismatched entry: a miss.
             return None
+        columns = self._load_columns(entry)
+        if columns is not None:
+            return _world_from_columns(config, columns, survey, report, ledger)
+        try:
+            users = read_users_csv(entry / "users.csv")
+        except (ReproError, OSError, ValueError, KeyError, TypeError):
+            return None
         return _world_from_records(config, users, survey, report, ledger)
+
+    def _load_columns(self, entry: Path) -> UserColumns | None:
+        """The entry's memory-mapped columnar shard, or ``None`` if it
+        is absent or fails validation (fall back to the CSV).
+
+        The manifest ties the shard to the CSV it was stored beside:
+        schema version, row count, and the CSV's byte size. A shard
+        whose CSV sibling changed underneath it (truncation, manual
+        edits) is rejected, so npy-vs-csv disagreement can never serve
+        stale rows.
+        """
+        try:
+            meta = json.loads((entry / _COLUMNS_META).read_text())
+            if meta.get("columns_format") != COLUMNS_FORMAT_VERSION:
+                return None
+            csv_bytes = (entry / "users.csv").stat().st_size
+            if meta.get("users_csv_bytes") != csv_bytes:
+                return None
+            columns = read_users_npy(entry / _COLUMNS_FILE)
+            if columns.n_rows != meta.get("rows"):
+                return None
+        except (ReproError, OSError, ValueError, KeyError, TypeError):
+            return None
+        return columns
 
     def fetch_into(self, config: WorldConfig, out_dir: str | Path) -> bool:
         """Copy a validated entry's raw files into ``out_dir``.
@@ -180,6 +256,9 @@ class WorldCache:
         names = _ENTRY_FILES + ((_REPORT_FILE,) if config.sanitize else ())
         if (entry / _TRACE_FILE).exists():
             names = names + (_TRACE_FILE,)
+        for name in (_COLUMNS_FILE, _COLUMNS_META):
+            if (entry / name).exists():
+                names = names + (name,)
         for name in names:
             shutil.copyfile(entry / name, out / name)
         return True
@@ -188,6 +267,13 @@ class WorldCache:
         """Persist a world atomically; returns the entry path.
 
         Returns ``None`` (stores nothing) for trace-bearing worlds.
+
+        Safe under concurrent stores of the same config: the build is
+        deterministic, so losing the publish race to another process is
+        a benign success — if a valid entry already occupies the path,
+        the staging copy is discarded and the existing entry returned.
+        Only an *invalid* occupant (stale format, corruption) is
+        replaced.
         """
         if not self._cacheable(world.config):
             return None
@@ -196,7 +282,22 @@ class WorldCache:
             tempfile.mkdtemp(prefix=".staging-", dir=self.root)
         )
         try:
-            write_users_csv(world.all_users, staging / "users.csv")
+            columns = world.all_columns
+            n_rows = write_users_csv(columns, staging / "users.csv")
+            write_users_npy(columns, staging / _COLUMNS_FILE)
+            (staging / _COLUMNS_META).write_text(
+                json.dumps(
+                    {
+                        "columns_format": COLUMNS_FORMAT_VERSION,
+                        "rows": n_rows,
+                        "users_csv_bytes": (
+                            staging / "users.csv"
+                        ).stat().st_size,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
             write_survey_csv(world.survey, staging / "survey.csv")
             write_config_json(world.config, staging / "config.json")
             if world.sanitization is not None:
@@ -210,9 +311,17 @@ class WorldCache:
             if world.ledger is not None:
                 (staging / _TRACE_FILE).write_text(world.ledger.to_jsonl())
             entry = self.entry_dir(world.config)
-            if entry.exists():
-                shutil.rmtree(entry)
-            os.replace(staging, entry)
+            try:
+                os.replace(staging, entry)
+            except OSError:
+                # The entry path is occupied (concurrent store, or a
+                # stale/corrupt leftover). Validate before touching it.
+                if self.load(world.config) is not None:
+                    # Lost the race to an equivalent valid entry.
+                    shutil.rmtree(staging, ignore_errors=True)
+                    return entry
+                shutil.rmtree(entry, ignore_errors=True)
+                os.replace(staging, entry)
         except BaseException:
             shutil.rmtree(staging, ignore_errors=True)
             raise
@@ -233,18 +342,21 @@ def build_or_load_world(
     jobs: int | None = 1,
     cache: WorldCache | None = None,
     use_cache: bool = True,
+    ground_truth: bool = True,
 ) -> tuple[World, bool]:
     """Load ``config``'s world from cache, or build and persist it.
 
     Returns ``(world, from_cache)``. Cache write failures are
     non-fatal — the freshly built world is returned regardless.
+    ``ground_truth=False`` skips retaining latent users on a build
+    (cached worlds never carry them anyway).
     """
     store = cache if cache is not None else WorldCache()
     if use_cache:
         cached = store.load(config)
         if cached is not None:
             return cached, True
-    world = build_world(config, jobs=jobs)
+    world = build_world(config, jobs=jobs, ground_truth=ground_truth)
     if use_cache:
         try:
             store.store(world)

@@ -1,0 +1,459 @@
+"""Columnar data plane: user records as numpy structured arrays.
+
+The object path (:class:`~repro.datasets.records.UserRecord` lists) is
+pleasant to program against but caps practical world size: a million
+households means tens of millions of Python objects shuttled through
+worker pickles, parent lists, and per-user analysis loops. This module
+holds the same information as **one structured array per dataset** — one
+row per (user, service period), user-level covariates repeated per row,
+exactly like ``users.csv`` — and the hot paths (builder, cache, binning,
+matching, eligibility filtering) operate on whole columns.
+
+Representation contract
+-----------------------
+
+* **Stable field order.** :data:`ROW_DTYPE` fields follow the canonical
+  CSV column order (:data:`USER_FIELDS` then :data:`PERIOD_FIELDS`),
+  with a boolean presence flag immediately after every optional field.
+  The order is part of the on-disk format; changing it (or any width)
+  requires bumping :data:`COLUMNS_FORMAT_VERSION`.
+* **Exact values.** Floats are stored as ``f8`` — bit-identical through
+  any number of round trips. ``None``-able fields store NaN plus a
+  presence flag, so a *missing* value can never be confused with a
+  measured NaN, and object → rows → object reconstruction is
+  value-identical (the equivalence suite in
+  ``tests/datasets/test_columns.py`` locks this).
+* **Grouped rows.** All rows of a user are contiguous and in
+  observation order (ascending ``start_day``), mirroring both the
+  builder's append order and the CSV layout. :class:`UserColumns`
+  validates this on first per-user access.
+
+Strings are fixed-width UTF-8 bytes (``S``); widths are generous for
+every generator-produced value and conversion raises
+:class:`~repro.exceptions.DatasetError` rather than silently truncating
+third-party data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.upgrades import NetworkId, ServicePeriod
+from ..exceptions import DatasetError
+from .records import PeriodObservation, UserRecord
+
+__all__ = [
+    "COLUMNS_FORMAT_VERSION",
+    "PERIOD_FIELDS",
+    "ROW_DTYPE",
+    "USER_FIELDS",
+    "UserColumns",
+    "records_to_rows",
+    "rows_to_records",
+]
+
+#: Bump when :data:`ROW_DTYPE` changes in any way (field set, order, or
+#: width); persisted ``users.npy`` shards carry this version.
+COLUMNS_FORMAT_VERSION = 1
+
+#: Canonical user-level CSV columns, in order (see ``datasets/io.py``).
+USER_FIELDS = [
+    "user_id", "source", "country", "region", "development", "vantage",
+    "technology", "bt_user", "price_of_access_usd",
+    "upgrade_cost_usd_per_mbps", "gdp_per_capita_usd",
+    "plan_data_cap_gb", "web_latency_ms", "ndt_2014_latency_ms",
+]
+#: Canonical period-level CSV columns, in order.
+PERIOD_FIELDS = [
+    "isp", "prefix", "city", "start_day", "end_day", "capacity_mbps",
+    "mean_mbps", "peak_mbps", "mean_no_bt_mbps", "peak_no_bt_mbps",
+    "latency_ms", "loss_fraction", "capacity_up_mbps", "n_ndt_tests",
+    "n_usage_samples", "hourly_mean_mbps", "mean_up_mbps", "peak_up_mbps",
+]
+
+#: ``None``-able fields and the flag column that records presence.
+OPTIONAL_FLAGS = {
+    "price_of_access_usd": "has_price_of_access",
+    "upgrade_cost_usd_per_mbps": "has_upgrade_cost",
+    "plan_data_cap_gb": "has_plan_data_cap",
+    "web_latency_ms": "has_web_latency",
+    "ndt_2014_latency_ms": "has_ndt_2014_latency",
+    "hourly_mean_mbps": "has_hourly",
+    "mean_up_mbps": "has_mean_up",
+    "peak_up_mbps": "has_peak_up",
+}
+
+_STRING_WIDTHS = {
+    "user_id": 48, "source": 8, "country": 40, "region": 40,
+    "development": 24, "vantage": 16, "technology": 32,
+    "isp": 64, "prefix": 32, "city": 64,
+}
+
+
+def _field_format(name: str) -> tuple:
+    if name in _STRING_WIDTHS:
+        return (name, f"S{_STRING_WIDTHS[name]}")
+    if name == "bt_user" or name in OPTIONAL_FLAGS.values():
+        return (name, "?")
+    if name in ("n_ndt_tests", "n_usage_samples"):
+        return (name, "i8")
+    if name == "hourly_mean_mbps":
+        return (name, "f8", (24,))
+    return (name, "f8")
+
+
+def _dtype_fields() -> list[tuple]:
+    fields: list[tuple] = []
+    for name in USER_FIELDS + PERIOD_FIELDS:
+        fields.append(_field_format(name))
+        flag = OPTIONAL_FLAGS.get(name)
+        if flag is not None:
+            fields.append(_field_format(flag))
+    return fields
+
+
+#: The structured row layout: CSV column order with presence flags.
+ROW_DTYPE = np.dtype(_dtype_fields())
+
+
+def _encode_str(value: str, field: str) -> bytes:
+    raw = value.encode("utf-8")
+    if len(raw) > _STRING_WIDTHS[field]:
+        raise DatasetError(
+            f"{field} value {value!r} exceeds the columnar width "
+            f"({len(raw)} > {_STRING_WIDTHS[field]} bytes)"
+        )
+    return raw
+
+
+def _decode_str(value: bytes) -> str:
+    return value.decode("utf-8")
+
+
+def records_to_rows(users: Sequence[UserRecord]) -> np.ndarray:
+    """Flatten records into a structured array, one row per period.
+
+    The inverse of :func:`rows_to_records`: every field (including the
+    ``None``-ness of optional fields and NaNs inside hourly profiles)
+    round-trips exactly.
+    """
+    n_rows = sum(len(u.observations) for u in users)
+    rows = np.zeros(n_rows, dtype=ROW_DTYPE)
+    start = 0
+    for user in users:
+        stop = start + len(user.observations)
+        block = rows[start:stop]
+        block["user_id"] = _encode_str(user.user_id, "user_id")
+        block["source"] = _encode_str(user.source, "source")
+        block["country"] = _encode_str(user.country, "country")
+        block["region"] = _encode_str(user.region, "region")
+        block["development"] = _encode_str(user.development, "development")
+        block["vantage"] = _encode_str(user.vantage, "vantage")
+        block["technology"] = _encode_str(user.technology, "technology")
+        block["bt_user"] = user.bt_user
+        _set_optional(block, "price_of_access_usd", user.price_of_access_usd)
+        _set_optional(
+            block, "upgrade_cost_usd_per_mbps", user.upgrade_cost_usd_per_mbps
+        )
+        block["gdp_per_capita_usd"] = user.gdp_per_capita_usd
+        _set_optional(block, "plan_data_cap_gb", user.plan_data_cap_gb)
+        _set_optional(block, "web_latency_ms", user.web_latency_ms)
+        _set_optional(block, "ndt_2014_latency_ms", user.ndt_2014_latency_ms)
+        for offset, obs in enumerate(user.observations):
+            row = block[offset]
+            p = obs.period
+            row["isp"] = _encode_str(p.network.isp, "isp")
+            row["prefix"] = _encode_str(p.network.prefix, "prefix")
+            row["city"] = _encode_str(p.network.city, "city")
+            row["start_day"] = p.start_day
+            row["end_day"] = p.end_day
+            row["capacity_mbps"] = p.capacity_mbps
+            row["mean_mbps"] = p.mean_mbps
+            row["peak_mbps"] = p.peak_mbps
+            row["mean_no_bt_mbps"] = p.mean_no_bt_mbps
+            row["peak_no_bt_mbps"] = p.peak_no_bt_mbps
+            row["latency_ms"] = obs.latency_ms
+            row["loss_fraction"] = obs.loss_fraction
+            row["capacity_up_mbps"] = obs.capacity_up_mbps
+            row["n_ndt_tests"] = obs.n_ndt_tests
+            row["n_usage_samples"] = obs.n_usage_samples
+            if obs.hourly_mean_mbps is None:
+                row["hourly_mean_mbps"] = np.nan
+                row["has_hourly"] = False
+            else:
+                row["hourly_mean_mbps"] = obs.hourly_mean_mbps
+                row["has_hourly"] = True
+            _set_scalar_optional(row, "mean_up_mbps", obs.mean_up_mbps)
+            _set_scalar_optional(row, "peak_up_mbps", obs.peak_up_mbps)
+        start = stop
+    return rows
+
+
+def _set_optional(block: np.ndarray, field: str, value: float | None) -> None:
+    flag = OPTIONAL_FLAGS[field]
+    if value is None:
+        block[field] = np.nan
+        block[flag] = False
+    else:
+        block[field] = value
+        block[flag] = True
+
+
+def _set_scalar_optional(row, field: str, value: float | None) -> None:
+    flag = OPTIONAL_FLAGS[field]
+    if value is None:
+        row[field] = np.nan
+        row[flag] = False
+    else:
+        row[field] = value
+        row[flag] = True
+
+
+def _get_optional(row, field: str) -> float | None:
+    return float(row[field]) if bool(row[OPTIONAL_FLAGS[field]]) else None
+
+
+def _record_from_rows(block: np.ndarray) -> UserRecord:
+    """Rebuild one user's record from its contiguous row block."""
+    first = block[0]
+    observations = []
+    for row in block:
+        period = ServicePeriod(
+            user_id=_decode_str(first["user_id"]),
+            network=NetworkId(
+                isp=_decode_str(row["isp"]),
+                prefix=_decode_str(row["prefix"]),
+                city=_decode_str(row["city"]),
+            ),
+            start_day=float(row["start_day"]),
+            end_day=float(row["end_day"]),
+            capacity_mbps=float(row["capacity_mbps"]),
+            mean_mbps=float(row["mean_mbps"]),
+            peak_mbps=float(row["peak_mbps"]),
+            mean_no_bt_mbps=float(row["mean_no_bt_mbps"]),
+            peak_no_bt_mbps=float(row["peak_no_bt_mbps"]),
+        )
+        hourly = None
+        if bool(row["has_hourly"]):
+            hourly = tuple(float(v) for v in row["hourly_mean_mbps"])
+        observations.append(
+            PeriodObservation(
+                period=period,
+                latency_ms=float(row["latency_ms"]),
+                loss_fraction=float(row["loss_fraction"]),
+                capacity_up_mbps=float(row["capacity_up_mbps"]),
+                n_ndt_tests=int(row["n_ndt_tests"]),
+                n_usage_samples=int(row["n_usage_samples"]),
+                hourly_mean_mbps=hourly,
+                mean_up_mbps=_get_optional(row, "mean_up_mbps"),
+                peak_up_mbps=_get_optional(row, "peak_up_mbps"),
+            )
+        )
+    return UserRecord(
+        user_id=_decode_str(first["user_id"]),
+        source=_decode_str(first["source"]),
+        country=_decode_str(first["country"]),
+        region=_decode_str(first["region"]),
+        development=_decode_str(first["development"]),
+        vantage=_decode_str(first["vantage"]),
+        technology=_decode_str(first["technology"]),
+        bt_user=bool(first["bt_user"]),
+        observations=tuple(observations),
+        price_of_access_usd=_get_optional(first, "price_of_access_usd"),
+        upgrade_cost_usd_per_mbps=_get_optional(
+            first, "upgrade_cost_usd_per_mbps"
+        ),
+        gdp_per_capita_usd=float(first["gdp_per_capita_usd"]),
+        plan_data_cap_gb=_get_optional(first, "plan_data_cap_gb"),
+        web_latency_ms=_get_optional(first, "web_latency_ms"),
+        ndt_2014_latency_ms=_get_optional(first, "ndt_2014_latency_ms"),
+    )
+
+
+def rows_to_records(rows: np.ndarray) -> list[UserRecord]:
+    """Materialize records from a structured array (inverse of
+    :func:`records_to_rows`)."""
+    return list(UserColumns(rows).iter_records())
+
+
+class UserColumns:
+    """A dataset of user records held as one structured array.
+
+    Thin and immutable by convention: every transformation
+    (:meth:`select_users`, :meth:`concat`) returns a new instance. The
+    per-user index (row runs, current-period row per user) is built
+    lazily on first access, so loading a memory-mapped shard and
+    slicing a few columns never touches most of the file.
+    """
+
+    def __init__(self, rows: np.ndarray) -> None:
+        rows = np.asarray(rows)
+        if rows.dtype != ROW_DTYPE:
+            raise DatasetError(
+                "structured rows do not match the columnar schema "
+                f"(format {COLUMNS_FORMAT_VERSION}); rebuild the shard"
+            )
+        if rows.ndim != 1:
+            raise DatasetError("columnar rows must be one-dimensional")
+        self._rows = rows
+        self._starts: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+        self._current_cache: dict[str, np.ndarray] = {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "UserColumns":
+        return cls(np.zeros(0, dtype=ROW_DTYPE))
+
+    @classmethod
+    def from_records(cls, users: Sequence[UserRecord]) -> "UserColumns":
+        return cls(records_to_rows(users))
+
+    @classmethod
+    def concat(cls, parts: Iterable["UserColumns | np.ndarray"]) -> "UserColumns":
+        """Concatenate shards in the given order (builder submission
+        order, for the byte-identical ``--jobs`` guarantee)."""
+        arrays = [
+            p.rows if isinstance(p, UserColumns) else np.asarray(p)
+            for p in parts
+        ]
+        arrays = [a for a in arrays if a.size]
+        if not arrays:
+            return cls.empty()
+        if len(arrays) == 1:
+            return cls(arrays[0])
+        return cls(np.concatenate(arrays))
+
+    # -- shape ------------------------------------------------------------
+
+    @property
+    def rows(self) -> np.ndarray:
+        return self._rows
+
+    @property
+    def n_rows(self) -> int:
+        return int(self._rows.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._rows.nbytes)
+
+    def _index(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._starts is None:
+            ids = self._rows["user_id"]
+            if ids.size == 0:
+                starts = np.zeros(0, dtype=np.int64)
+            else:
+                change = np.flatnonzero(ids[1:] != ids[:-1]) + 1
+                starts = np.concatenate(
+                    (np.zeros(1, dtype=np.int64), change)
+                ).astype(np.int64)
+            counts = np.diff(
+                np.concatenate((starts, [np.int64(ids.size)]))
+            ).astype(np.int64)
+            if ids.size and np.unique(ids).size != starts.size:
+                raise DatasetError(
+                    "rows of each user must be contiguous (grouped by "
+                    "user_id in observation order)"
+                )
+            self._starts, self._counts = starts, counts
+        return self._starts, self._counts
+
+    @property
+    def user_starts(self) -> np.ndarray:
+        """First row index of each user (users in row order)."""
+        return self._index()[0]
+
+    @property
+    def user_counts(self) -> np.ndarray:
+        """Number of period rows per user."""
+        return self._index()[1]
+
+    @property
+    def n_users(self) -> int:
+        return int(self.user_starts.size)
+
+    # -- per-user column views -------------------------------------------
+
+    def current(self, field: str) -> np.ndarray:
+        """One value per user: ``field`` of the *current* (most recent)
+        period row — optional fields read NaN where absent."""
+        cached = self._current_cache.get(field)
+        if cached is None:
+            starts, counts = self._index()
+            cached = self._rows[field][starts + counts - 1]
+            self._current_cache[field] = cached
+        return cached
+
+    @property
+    def user_ids(self) -> np.ndarray:
+        """Per-user ids, decoded to ``str``."""
+        return self.current("user_id").astype(str)
+
+    def source_mask(self, source: str) -> np.ndarray:
+        return self.current("source") == source.encode("utf-8")
+
+    @property
+    def capacity_down_mbps(self) -> np.ndarray:
+        return self.current("capacity_mbps")
+
+    @property
+    def latency_ms(self) -> np.ndarray:
+        return self.current("latency_ms")
+
+    @property
+    def loss_fraction(self) -> np.ndarray:
+        return self.current("loss_fraction")
+
+    @property
+    def price_of_access_usd(self) -> np.ndarray:
+        """Per-user price of access; NaN where the market had none."""
+        return self.current("price_of_access_usd")
+
+    @property
+    def upgrade_cost_usd_per_mbps(self) -> np.ndarray:
+        return self.current("upgrade_cost_usd_per_mbps")
+
+    @property
+    def gdp_per_capita_usd(self) -> np.ndarray:
+        return self.current("gdp_per_capita_usd")
+
+    def demand(self, metric: str = "peak", include_bt: bool = False) -> np.ndarray:
+        """Vectorized twin of :meth:`UserRecord.demand`."""
+        if metric not in ("peak", "mean"):
+            raise DatasetError(f"unknown demand metric {metric!r}")
+        field = f"{metric}_mbps" if include_bt else f"{metric}_no_bt_mbps"
+        return self.current(field)
+
+    @property
+    def peak_utilization(self) -> np.ndarray:
+        """Vectorized twin of :meth:`UserRecord.peak_utilization`."""
+        return np.minimum(
+            1.0, self.current("peak_no_bt_mbps") / self.capacity_down_mbps
+        )
+
+    # -- selection --------------------------------------------------------
+
+    def select_users(self, mask: np.ndarray) -> "UserColumns":
+        """A new dataset of the users where ``mask`` is True (one entry
+        per user), keeping each kept user's rows whole and in order."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n_users,):
+            raise DatasetError(
+                f"user mask has shape {mask.shape}, expected ({self.n_users},)"
+            )
+        return UserColumns(self._rows[np.repeat(mask, self.user_counts)])
+
+    # -- object views -----------------------------------------------------
+
+    def iter_records(self) -> Iterator[UserRecord]:
+        """Stream one :class:`UserRecord` at a time (O(1 user) memory)."""
+        starts, counts = self._index()
+        for start, count in zip(starts, counts):
+            yield _record_from_rows(self._rows[start : start + count])
+
+    def to_records(self) -> list[UserRecord]:
+        return list(self.iter_records())

@@ -4,7 +4,11 @@ The on-disk layout mirrors how a real measurement study would publish its
 cleaned data:
 
 * ``users.csv`` — one row per (user, service period) with the user-level
-  covariates repeated, like a denormalized release;
+  covariates repeated, like a denormalized release; the interchange and
+  golden format (text diffs, third-party ingest);
+* ``users.npy`` — the same rows as a columnar shard (numpy structured
+  array, see :mod:`repro.datasets.columns`); the fast load path, read
+  memory-mapped so consumers touch only the columns they use;
 * ``plans.csv`` — the retail-plan survey;
 * ``config.json`` — the world configuration, for provenance.
 
@@ -18,12 +22,17 @@ from __future__ import annotations
 import csv
 import dataclasses
 import json
+import numbers
+from collections.abc import Mapping
 from pathlib import Path
 from typing import Sequence
+
+import numpy as np
 
 from ..core.upgrades import NetworkId, ServicePeriod
 from ..exceptions import DatasetError
 from ..market.survey import PlanSurvey
+from .columns import PERIOD_FIELDS, ROW_DTYPE, USER_FIELDS, UserColumns
 from .records import PeriodObservation, UserRecord
 from .world import WorldConfig
 
@@ -32,24 +41,17 @@ __all__ = [
     "read_config_json",
     "read_survey_csv",
     "read_users_csv",
+    "read_users_npy",
     "write_config_json",
     "write_plans_csv",
     "write_survey_csv",
     "write_users_csv",
+    "write_users_npy",
 ]
 
-_USER_FIELDS = [
-    "user_id", "source", "country", "region", "development", "vantage",
-    "technology", "bt_user", "price_of_access_usd",
-    "upgrade_cost_usd_per_mbps", "gdp_per_capita_usd",
-    "plan_data_cap_gb", "web_latency_ms", "ndt_2014_latency_ms",
-]
-_PERIOD_FIELDS = [
-    "isp", "prefix", "city", "start_day", "end_day", "capacity_mbps",
-    "mean_mbps", "peak_mbps", "mean_no_bt_mbps", "peak_no_bt_mbps",
-    "latency_ms", "loss_fraction", "capacity_up_mbps", "n_ndt_tests",
-    "n_usage_samples", "hourly_mean_mbps", "mean_up_mbps", "peak_up_mbps",
-]
+# Canonical CSV column order, shared with the columnar schema.
+_USER_FIELDS = USER_FIELDS
+_PERIOD_FIELDS = PERIOD_FIELDS
 
 
 def _encode_profile(profile: tuple[float, ...] | None) -> str:
@@ -72,9 +74,19 @@ def _optional(value: str) -> float | None:
     return None if value == "" else float(value)
 
 
-def write_users_csv(users: Sequence[UserRecord], path: str | Path) -> int:
-    """Write user records (one row per service period); returns row count."""
+def write_users_csv(
+    users: "Sequence[UserRecord] | UserColumns", path: str | Path
+) -> int:
+    """Write user records (one row per service period); returns row count.
+
+    Accepts either an object-path record sequence or a columnar dataset;
+    a columnar input streams one user at a time (O(1 user) memory) and
+    writes byte-identical text — f8 columns round-trip Python floats
+    exactly, so the shortest-repr rendering is unchanged.
+    """
     path = Path(path)
+    if isinstance(users, UserColumns):
+        users = users.iter_records()
     n_rows = 0
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
@@ -197,6 +209,41 @@ def read_users_csv(
                 raise
             errors.append(f"{path}: user {row.get('user_id', '?')}: {exc}")
     return sorted(users, key=lambda u: u.user_id)
+
+
+def write_users_npy(columns: UserColumns, path: str | Path) -> int:
+    """Write a columnar users shard (``.npy``); returns the row count.
+
+    The shard is the verbatim structured array — loading it back is an
+    mmap, not a parse. ``users.csv`` stays the golden interchange copy.
+    """
+    path = Path(path)
+    with path.open("wb") as handle:
+        np.save(handle, columns.rows, allow_pickle=False)
+    return columns.n_rows
+
+
+def read_users_npy(path: str | Path, *, mmap: bool = True) -> UserColumns:
+    """Load a columnar users shard written by :func:`write_users_npy`.
+
+    Memory-mapped by default, so consumers only fault in the columns
+    they touch. Raises :class:`DatasetError` on anything that is not a
+    current-format shard (truncated file, foreign array, stale schema —
+    the dtype *is* the format version check).
+    """
+    path = Path(path)
+    try:
+        rows = np.load(
+            path, mmap_mode="r" if mmap else None, allow_pickle=False
+        )
+    except (ValueError, OSError, EOFError) as exc:
+        raise DatasetError(f"{path}: not a columnar users shard ({exc})")
+    if not isinstance(rows, np.ndarray) or rows.dtype != ROW_DTYPE:
+        raise DatasetError(
+            f"{path}: columnar shard schema mismatch (stale or foreign "
+            "users.npy); rebuild the world"
+        )
+    return UserColumns(rows)
 
 
 def write_plans_csv(survey: PlanSurvey, path: str | Path) -> int:
@@ -324,18 +371,55 @@ def read_survey_csv(path: str | Path) -> PlanSurvey:
     return PlanSurvey(markets=markets)
 
 
+def _canonical_json(value, path: str):
+    """Coerce a config payload value to JSON-native types, recursively.
+
+    Cache keys hash this payload, so every value must serialize the
+    same way forever: numpy scalars and other ``Integral``/``Real``
+    duck-types collapse to plain int/float, and anything without an
+    unambiguous JSON form (``Path``, ``set``, arbitrary objects) is an
+    error here — not silently stringified into an unstable hash.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    if isinstance(value, Mapping):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise DatasetError(
+                    f"config field {path} has a non-string key {key!r}"
+                )
+            out[key] = _canonical_json(item, f"{path}.{key}")
+        return out
+    if isinstance(value, (list, tuple)):
+        return [
+            _canonical_json(item, f"{path}[{i}]")
+            for i, item in enumerate(value)
+        ]
+    raise DatasetError(
+        f"config field {path} has non-JSON-native value {value!r} "
+        f"of type {type(value).__name__}; convert it explicitly"
+    )
+
+
 def config_payload(config: WorldConfig) -> dict:
     """JSON-ready dict of a config, omitting fields at their defaults
     that postdate the original format (``faults``, ``sanitize``), so
     fault-free configs serialize byte-identically to the original layout
-    and hash to the same cache keys."""
+    and hash to the same cache keys. All values are canonicalized to
+    JSON-native types; non-native values raise instead of being
+    stringified into an unstable cache key."""
     payload = dataclasses.asdict(config)
     payload["years"] = list(config.years)
     if config.faults is None:
         payload.pop("faults")
     if config.sanitize is False:
         payload.pop("sanitize")
-    return payload
+    return _canonical_json(payload, "config")
 
 
 def write_config_json(config: WorldConfig, path: str | Path) -> None:

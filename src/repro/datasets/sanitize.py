@@ -49,6 +49,7 @@ __all__ = [
     "dedup_samples",
     "ingest_users",
     "repair_wraps",
+    "sanitize_columns",
     "sanitize_samples",
     "sanitize_users",
     "strip_sentinels",
@@ -384,46 +385,117 @@ def sanitize_users(
     kept_users: list[UserRecord] = []
     report.users_in += len(users)
     for user in users:
-        report.periods_in += len(user.observations)
-        seen: set = set()
-        kept = []
-        for obs in user.observations:
-            p = obs.period
-            key = (p.network, p.start_day, p.end_day)
-            rule = report.rule("duplicate_period")
-            rule.examined += 1
-            if key in seen:
-                rule.dropped += 1
-                continue
-            seen.add(key)
-            rule = report.rule("ndt_failure")
-            rule.examined += 1
-            if obs.n_ndt_tests < min_ndt_tests:
-                rule.dropped += 1
-                continue
-            rule = report.rule("invalid_values")
-            rule.examined += 1
-            if not _period_is_valid(obs):
-                rule.dropped += 1
-                continue
-            kept.append(obs)
-        rule = report.rule("short_observation")
-        rule.examined += 1
-        if not kept:
-            rule.dropped += 1
-            continue
-        candidate = (
-            user
-            if len(kept) == len(user.observations)
-            else dataclasses.replace(user, observations=tuple(kept))
+        candidate = _sanitize_one(
+            user,
+            dasu_interval_s=dasu_interval_s,
+            min_observed_days=min_observed_days,
+            min_ndt_tests=min_ndt_tests,
+            report=report,
         )
-        if _observed_days(candidate, dasu_interval_s) < min_observed_days:
-            rule.dropped += 1
-            continue
-        report.periods_kept += len(kept)
-        kept_users.append(candidate)
+        if candidate is not None:
+            kept_users.append(candidate)
     report.users_kept += len(kept_users)
     return kept_users, report
+
+
+def _sanitize_one(
+    user: UserRecord,
+    *,
+    dasu_interval_s: float,
+    min_observed_days: float,
+    min_ndt_tests: int,
+    report: SanitizationReport,
+) -> UserRecord | None:
+    """Record-level rules for a single user; the accounting unit shared
+    by the object-list and streaming columnar paths (every rule is
+    strictly per-user, so the totals are identical for any batching)."""
+    report.periods_in += len(user.observations)
+    seen: set = set()
+    kept = []
+    for obs in user.observations:
+        p = obs.period
+        key = (p.network, p.start_day, p.end_day)
+        rule = report.rule("duplicate_period")
+        rule.examined += 1
+        if key in seen:
+            rule.dropped += 1
+            continue
+        seen.add(key)
+        rule = report.rule("ndt_failure")
+        rule.examined += 1
+        if obs.n_ndt_tests < min_ndt_tests:
+            rule.dropped += 1
+            continue
+        rule = report.rule("invalid_values")
+        rule.examined += 1
+        if not _period_is_valid(obs):
+            rule.dropped += 1
+            continue
+        kept.append(obs)
+    rule = report.rule("short_observation")
+    rule.examined += 1
+    if not kept:
+        rule.dropped += 1
+        return None
+    candidate = (
+        user
+        if len(kept) == len(user.observations)
+        else dataclasses.replace(user, observations=tuple(kept))
+    )
+    if _observed_days(candidate, dasu_interval_s) < min_observed_days:
+        rule.dropped += 1
+        return None
+    report.periods_kept += len(kept)
+    return candidate
+
+
+#: Users re-columnized per batch while streaming the record-level rules.
+_SANITIZE_BATCH_USERS = 1024
+
+
+def sanitize_columns(
+    columns,
+    *,
+    dasu_interval_s: float = 30.0,
+    min_observed_days: float = MIN_OBSERVED_DAYS,
+    min_ndt_tests: int = MIN_NDT_TESTS,
+    report: SanitizationReport | None = None,
+):
+    """Record-level cleaning over a columnar dataset.
+
+    Streams one user at a time through the same per-user rules as
+    :func:`sanitize_users` (value-identical kept set, counter-identical
+    report) while holding at most ``_SANITIZE_BATCH_USERS`` record
+    objects in memory; survivors are re-columnized batch by batch in
+    input order.
+    """
+    from .columns import UserColumns, records_to_rows
+
+    if report is None:
+        report = SanitizationReport()
+    report.users_in += columns.n_users
+    parts: list[np.ndarray] = []
+    batch: list[UserRecord] = []
+    n_kept = 0
+    for user in columns.iter_records():
+        candidate = _sanitize_one(
+            user,
+            dasu_interval_s=dasu_interval_s,
+            min_observed_days=min_observed_days,
+            min_ndt_tests=min_ndt_tests,
+            report=report,
+        )
+        if candidate is None:
+            continue
+        n_kept += 1
+        batch.append(candidate)
+        if len(batch) >= _SANITIZE_BATCH_USERS:
+            parts.append(records_to_rows(batch))
+            batch = []
+    if batch:
+        parts.append(records_to_rows(batch))
+    report.users_kept += n_kept
+    return UserColumns.concat(parts), report
 
 
 def ingest_users(

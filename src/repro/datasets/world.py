@@ -12,7 +12,7 @@ manufacture effects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from ..behavior.population import LatentUser
 from ..exceptions import DatasetError
@@ -22,6 +22,9 @@ from ..market.survey import PlanSurvey
 from ..obs.ledger import RunLedger
 from .records import UserRecord
 from .sanitize import SanitizationReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .columns import UserColumns
 
 __all__ = ["DasuDataset", "FccDataset", "World", "WorldConfig"]
 
@@ -83,11 +86,65 @@ class WorldConfig:
             raise DatasetError("trace fraction must be a fraction")
 
 
-@dataclass(frozen=True)
-class DasuDataset:
+class _ColumnarDataset:
+    """A dataset held either as records or as columns, deriving the
+    other representation lazily.
+
+    The builder and cache hand over :class:`~repro.datasets.columns.
+    UserColumns`; hand-assembled worlds (tests, synthetic fixtures)
+    keep passing record tuples. ``users`` stays the compatibility
+    surface — the long tail of analysis callers iterates it unchanged —
+    while hot paths read ``columns`` directly.
+    """
+
+    __slots__ = ("_users", "_columns")
+
+    def __init__(
+        self,
+        users: tuple[UserRecord, ...] | None = None,
+        *,
+        columns: "UserColumns | None" = None,
+    ) -> None:
+        if (users is None) == (columns is None):
+            raise DatasetError(
+                "pass exactly one of users= or columns= to a dataset"
+            )
+        self._users = tuple(users) if users is not None else None
+        self._columns = columns
+
+    @property
+    def users(self) -> tuple[UserRecord, ...]:
+        if self._users is None:
+            self._users = tuple(self._columns.iter_records())
+        return self._users
+
+    @property
+    def columns(self) -> "UserColumns":
+        if self._columns is None:
+            from .columns import UserColumns
+
+            self._columns = UserColumns.from_records(self._users)
+        return self._columns
+
+    @property
+    def n_users(self) -> int:
+        if self._columns is not None:
+            return self._columns.n_users
+        return len(self._users)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _ColumnarDataset):
+            return NotImplemented
+        return type(self) is type(other) and self.users == other.users
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_users={self.n_users})"
+
+
+class DasuDataset(_ColumnarDataset):
     """The simulated Dasu dataset: global, end-host collected."""
 
-    users: tuple[UserRecord, ...]
+    __slots__ = ()
 
     def by_country(self, country: str) -> tuple[UserRecord, ...]:
         return tuple(u for u in self.users if u.country == country)
@@ -97,11 +154,10 @@ class DasuDataset:
         return tuple(sorted({u.country for u in self.users}))
 
 
-@dataclass(frozen=True)
-class FccDataset:
+class FccDataset(_ColumnarDataset):
     """The simulated FCC/SamKnows dataset: US-only, gateway collected."""
 
-    users: tuple[UserRecord, ...]
+    __slots__ = ()
 
 
 @dataclass(frozen=True)
@@ -131,3 +187,11 @@ class World:
     @property
     def all_users(self) -> tuple[UserRecord, ...]:
         return self.dasu.users + self.fcc.users
+
+    @property
+    def all_columns(self) -> "UserColumns":
+        """Both datasets as one columnar block, dasu rows first —
+        mirroring :attr:`all_users` and the ``users.csv`` row order."""
+        from .columns import UserColumns
+
+        return UserColumns.concat([self.dasu.columns, self.fcc.columns])

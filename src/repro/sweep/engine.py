@@ -132,6 +132,7 @@ def _cell_world(
         jobs=1,
         cache=WorldCache(cache_root),
         use_cache=use_cache,
+        ground_truth=False,
     )
     ambient = current()
     if ambient is not None and world.ledger is not None:

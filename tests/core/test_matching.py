@@ -251,3 +251,120 @@ class TestCandidateChunkRows:
         assert [
             (p.control, p.treatment, p.distance) for p in chunked.pairs
         ] == [(p.control, p.treatment, p.distance) for p in baseline.pairs]
+
+
+class TestNonFiniteConfounders:
+    """Non-finite covariates must be rejected, never silently matched.
+
+    The original guard caught only NaN: two users whose extractor
+    produced ``inf`` satisfied ``inf <= 1.25 * inf`` and were "matched"
+    on a meaningless covariate. Every non-finite value now raises
+    :class:`MatchingError` from :func:`caliper_compatible` all the way
+    through :func:`match_pairs` / :func:`match_pairs_arrays`.
+    """
+
+    NON_FINITE = (math.inf, -math.inf, math.nan)
+
+    def test_caliper_compatible_rejects_every_non_finite_pair(self):
+        for bad in self.NON_FINITE:
+            for a, b in ((bad, 1.0), (1.0, bad), (bad, bad)):
+                with pytest.raises(MatchingError, match="finite"):
+                    matching.caliper_compatible(a, b)
+
+    def test_two_infinities_never_compatible(self):
+        # The exact regression: inf <= 1.25 * inf is True, so the
+        # ratio test alone would call two infinite covariates similar.
+        with pytest.raises(MatchingError, match="finite"):
+            matching.caliper_compatible(math.inf, math.inf)
+
+    def test_match_pairs_rejects_inf_confounder(self):
+        for bad in self.NON_FINITE:
+            with pytest.raises(MatchingError, match="invalid value"):
+                matching.match_pairs(
+                    [{"v": bad}], [{"v": 1.0}], [by_value]
+                )
+            with pytest.raises(MatchingError, match="invalid value"):
+                matching.match_pairs(
+                    [{"v": 1.0}], [{"v": bad}], [by_value]
+                )
+
+    def test_match_pairs_rejects_mixed_finite_and_infinite_pool(self):
+        control = [{"v": 1.0}, {"v": math.inf}, {"v": 2.0}]
+        with pytest.raises(MatchingError, match="invalid value"):
+            matching.match_pairs(control, [{"v": 1.0}], [by_value])
+
+    def test_match_pairs_arrays_rejects_non_finite(self):
+        import numpy as np
+
+        for bad in self.NON_FINITE:
+            with pytest.raises(MatchingError, match="invalid value"):
+                matching.match_pairs_arrays(
+                    [np.array([1.0, bad])], [np.array([1.0, 2.0])]
+                )
+
+
+class TestMatchPairsArrays:
+    """The columnar matcher is the object matcher on extracted columns."""
+
+    def _pools(self, n=60):
+        control, treatment, extractors = _five_confounder_pools(n)
+        import numpy as np
+
+        control_cols = [
+            np.array([e(u) for u in control]) for e in extractors
+        ]
+        treatment_cols = [
+            np.array([e(u) for u in treatment]) for e in extractors
+        ]
+        return control, treatment, extractors, control_cols, treatment_cols
+
+    def test_identical_pairs_and_distances(self):
+        control, treatment, extractors, ccols, tcols = self._pools()
+        by_object = matching.match_pairs(control, treatment, extractors)
+        by_column = matching.match_pairs_arrays(ccols, tcols)
+        # Recover indices by identity: equal-valued units recur in the
+        # pools, so list.index() would alias distinct members.
+        control_idx = {id(u): i for i, u in enumerate(control)}
+        treatment_idx = {id(u): i for i, u in enumerate(treatment)}
+        assert [
+            (
+                control_idx[id(p.control)],
+                treatment_idx[id(p.treatment)],
+                p.distance,
+            )
+            for p in by_object.pairs
+        ] == [(p.control, p.treatment, p.distance) for p in by_column.pairs]
+        assert by_object.n_control == by_column.n_control
+        assert by_object.n_treatment == by_column.n_treatment
+
+    def test_pairs_are_indices(self):
+        import numpy as np
+
+        summary = matching.match_pairs_arrays(
+            [np.array([1.0, 50.0])], [np.array([50.0, 1.0])]
+        )
+        assert summary.n_matched == 2
+        assert {(p.control, p.treatment) for p in summary.pairs} == {
+            (0, 1), (1, 0)
+        }
+
+    def test_empty_pool(self):
+        import numpy as np
+
+        summary = matching.match_pairs_arrays(
+            [np.array([])], [np.array([1.0])]
+        )
+        assert summary.n_matched == 0
+
+    def test_mismatched_lengths_rejected(self):
+        import numpy as np
+
+        with pytest.raises(MatchingError):
+            matching.match_pairs_arrays(
+                [np.array([1.0]), np.array([1.0, 2.0])],
+                [np.array([1.0]), np.array([1.0])],
+            )
+
+    def test_no_confounders_rejected(self):
+        with pytest.raises(MatchingError):
+            matching.match_pairs_arrays([], [])

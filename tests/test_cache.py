@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import json
 
 import pytest
 
@@ -252,3 +253,110 @@ class TestCliCache:
         assert "cache hit" in out
         assert "skipping build" in out
         assert "Reproduction report" in out
+
+
+class TestStoreRace:
+    """Concurrent stores of the same config must both succeed.
+
+    ``os.replace`` onto an existing non-empty directory raises (ENOTEMPTY
+    on Linux); the builds are deterministic, so losing the publish race
+    is a benign success, not an error.
+    """
+
+    def test_lost_race_returns_existing_entry(self, cache):
+        world = build_world(TINY)
+        first = cache.store(world)
+        before = (first / "users.csv").read_bytes()
+        # A second store finds the entry path occupied by a valid,
+        # equivalent entry: keep it, discard the staging copy.
+        second = cache.store(world)
+        assert second == first
+        assert (first / "users.csv").read_bytes() == before
+        assert cache.load(TINY) is not None
+        assert not list(cache.root.glob(".staging-*"))
+
+    def test_invalid_occupant_is_replaced(self, cache):
+        world = build_world(TINY)
+        entry = cache.entry_dir(TINY)
+        entry.mkdir(parents=True)
+        (entry / "garbage.txt").write_text("not a world")
+        stored = cache.store(world)
+        assert stored == entry
+        assert cache.load(TINY) is not None
+        assert not (entry / "garbage.txt").exists()
+        assert not list(cache.root.glob(".staging-*"))
+
+
+class TestCacheKeyCanonicalization:
+    """``cache_key`` hashes a canonical JSON payload.
+
+    The old implementation used ``json.dumps(..., default=str)``: any
+    unserializable value was silently stringified, so two *different*
+    configs could collide (or one config could hash differently across
+    platforms whose ``str()`` differs). Numeric scalars now normalize to
+    builtin int/float and anything else fails loudly.
+    """
+
+    def test_numpy_scalars_hash_like_builtins(self):
+        import numpy as np
+
+        assert cache_key(
+            dataclasses.replace(TINY, seed=np.int64(TINY.seed))
+        ) == cache_key(TINY)
+        assert cache_key(
+            dataclasses.replace(
+                TINY, days_per_year=np.float64(TINY.days_per_year)
+            )
+        ) == cache_key(TINY)
+
+    def test_non_canonical_value_raises(self):
+        from pathlib import Path as _Path
+
+        from repro.exceptions import DatasetError
+
+        bad = dataclasses.replace(TINY, seed=_Path("not-a-seed"))
+        with pytest.raises(DatasetError, match="non-JSON-native"):
+            cache_key(bad)
+
+    def test_bool_is_not_an_int(self):
+        # bool is an Integral subclass; it must stay a JSON bool, not
+        # collapse onto 0/1 (which would collide with integer fields).
+        assert cache_key(
+            dataclasses.replace(TINY, sanitize=False)
+        ) != cache_key(dataclasses.replace(TINY, sanitize=True))
+
+
+class TestColumnarShard:
+    """The ``users.npy`` fast path: valid shards load without CSV
+    parsing; anything suspect falls back to the CSV byte-for-byte."""
+
+    def test_entry_carries_npy_and_manifest(self, cache):
+        entry = cache.store(build_world(TINY))
+        assert (entry / "users.npy").exists()
+        meta = json.loads((entry / "users.npy.json").read_text())
+        assert meta["users_csv_bytes"] == (entry / "users.csv").stat().st_size
+
+    def test_corrupt_npy_falls_back_to_csv(self, cache):
+        world = build_world(TINY)
+        entry = cache.store(world)
+        (entry / "users.npy").write_bytes(b"\x93NUMPY garbage")
+        cached = cache.load(TINY)
+        assert cached is not None
+        assert sorted(u.user_id for u in cached.all_users) == sorted(
+            u.user_id for u in world.all_users
+        )
+
+    def test_stale_manifest_falls_back_to_csv(self, cache):
+        entry = cache.store(build_world(TINY))
+        meta = json.loads((entry / "users.npy.json").read_text())
+        meta["rows"] = meta["rows"] + 1
+        (entry / "users.npy.json").write_text(json.dumps(meta))
+        assert cache.load(TINY) is not None
+
+    def test_fetch_into_copies_columnar_shard(self, cache, tmp_path):
+        entry = cache.store(build_world(TINY))
+        out = tmp_path / "out"
+        out.mkdir()
+        assert cache.fetch_into(TINY, out)
+        for name in ("users.npy", "users.npy.json"):
+            assert (out / name).read_bytes() == (entry / name).read_bytes()

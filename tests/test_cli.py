@@ -319,3 +319,50 @@ class TestTrace:
         ) == 0
         assert not (tmp_path / "w" / "trace.jsonl").exists()
         assert not (tmp_path / "w" / "manifest.json").exists()
+
+
+class TestColumnarDataDir:
+    """``--data`` directories carry a ``users.npy`` shard since the
+    columnar data plane; loading must prefer it and agree with the CSV."""
+
+    @pytest.fixture()
+    def columnar_dir(self, tiny_world, tmp_path):
+        from repro.datasets.io import write_users_npy
+
+        out = tmp_path / "data"
+        out.mkdir()
+        columns = tiny_world.all_columns
+        write_users_csv(columns, out / "users.csv")
+        write_users_npy(columns, out / "users.npy")
+        write_survey_csv(tiny_world.survey, out / "survey.csv")
+        return out
+
+    def _analyze(self, data_dir, capsys) -> str:
+        rc = main(
+            ["analyze", "--data", str(data_dir), "--experiment", "table2"]
+        )
+        assert rc == 0
+        return capsys.readouterr().out
+
+    def test_npy_and_csv_loads_agree(self, columnar_dir, capsys):
+        from_npy = self._analyze(columnar_dir, capsys)
+        (columnar_dir / "users.npy").unlink()
+        from_csv = self._analyze(columnar_dir, capsys)
+        assert from_npy == from_csv
+
+    def test_corrupt_npy_falls_back_to_csv(self, columnar_dir, capsys):
+        baseline = self._analyze(columnar_dir, capsys)
+        (columnar_dir / "users.npy").write_bytes(b"not a numpy file")
+        assert self._analyze(columnar_dir, capsys) == baseline
+
+    def test_build_writes_the_shard(self, tmp_path):
+        from repro.datasets.io import read_users_npy
+
+        out = tmp_path / "w"
+        rc = main(
+            ["build", "--out", str(out), "--users", "30", "--fcc", "8",
+             "--days", "1.0", "--seed", "21", "--no-cache"]
+        )
+        assert rc == 0
+        columns = read_users_npy(out / "users.npy")
+        assert columns.n_rows > 0

@@ -232,7 +232,10 @@ def test_experiment_accounting(outcomes):
     ),
 )
 def test_regression_recovers_exact_line(slope, intercept, caps):
-    assume(len(set(caps)) > 1)
+    # A capacity spread of a few ULPs (e.g. [0.1, nextafter(0.1)]) makes
+    # the normal equations ill-conditioned far beyond the tolerances
+    # below; exact-line recovery is only a fair ask on a real spread.
+    assume(max(caps) - min(caps) >= 1e-2)
     prices = [intercept + slope * c for c in caps]
     fit = fit_price_capacity(caps, prices)
     assert fit.slope_usd_per_mbps == pytest.approx(slope, rel=1e-6, abs=1e-6)
