@@ -42,6 +42,18 @@ Both are byte-identical for a fixed seed across any ``--jobs`` value,
 and the trace's ``sanitize.*`` counters always equal the persisted
 ``sanitization.json``.
 
+``dag run`` executes a declarative experiment DAG (see
+:mod:`repro.dag`): ``--spec dag.json`` names the stages — or a
+``{"pipeline": "report"|"sweep", ...}`` shorthand expanding to the
+built-in pipelines — and every stage's output is content-addressed and
+persisted under ``<out>/stages``. A killed run *resumes*: re-invoking
+the same command reloads finished stages and re-executes only the
+rest, with final artifacts (including ``trace.jsonl``) byte-identical
+to an uninterrupted run, for either ``--backend`` and any ``--jobs``.
+``report`` and ``sweep`` themselves run on the same scheduler
+(in-memory, no stage store), so all three commands share one
+execution path.
+
 ``sweep`` evaluates the paper's verdicts across a whole grid of worlds
 (see :mod:`repro.sweep`): a declarative scenario grid (``--grid
 grid.json`` — config overrides × fault severities) is crossed with
@@ -62,7 +74,6 @@ from pathlib import Path
 from typing import Sequence
 
 from .analysis import capacity, characterization, longitudinal, price, quality, upgrade_cost
-from .analysis.paper_report import full_report
 from .analysis.report import format_experiment_row
 from .core.executor import resolve_jobs
 from .core.timing import format_profile
@@ -345,42 +356,45 @@ def _analyze(args: argparse.Namespace) -> int:
 
 
 def _report(args: argparse.Namespace) -> int:
+    # The report pipeline runs as a two-stage experiment DAG (build or
+    # load the data, then render). Artifacts, stdout, and the --trace
+    # ledger are byte-identical to the pre-DAG direct path: the build
+    # stage prints the same cache-hit/build messages and folds the
+    # build's events into the run ledger exactly as this function used
+    # to do inline.
+    from .dag import InProcessBackend, RunContext, report_spec, run_dag
+
     jobs = resolve_jobs(args.jobs)
     ledger = RunLedger()
     config = None
     data_dir = None
     if args.data is not None:
         data_dir = str(args.data)
-        dasu, fcc, survey = _load(Path(args.data))
+        spec = report_spec(data_dir=data_dir)
     else:
         # No dataset directory: render from the world cache, building
         # (and caching) only on a miss.
         config = _world_config(args)
-        cache = WorldCache(args.cache_dir)
-        key = cache_key(config)
-        world = None if args.no_cache else cache.load(config)
-        if world is not None:
-            print(f"cache hit ({key[:12]}): skipping build")
-            if world.ledger is not None:
-                # Fold the cached build's events into this run's
-                # ledger, so hit and miss runs trace identically.
-                ledger.merge(world.ledger)
-        else:
-            print(f"building world (seed={config.seed}, "
-                  f"{config.n_dasu_users} Dasu users, jobs={jobs})...",
-                  flush=True)
-            world = build_world(
-                config, jobs=jobs, ledger=ledger, ground_truth=False
-            )
-            if not args.no_cache:
-                cache.store(world)
-        dasu, fcc, survey = world.dasu.users, world.fcc.users, world.survey
-        if world.sanitization is not None and args.profile:
+        spec = report_spec(config)
+    result = run_dag(
+        spec,
+        backend=InProcessBackend(),
+        ledger=ledger,
+        context=RunContext(
+            jobs=jobs,
+            cache_root=args.cache_dir,
+            use_cache=not args.no_cache,
+            data_dir=data_dir,
+        ),
+    )
+    if config is not None and args.profile:
+        world = result.artifact("world")
+        if world.sanitization is not None:
             # Diagnostics channel: like the timing profile, the
             # sanitization accounting goes to stderr so the report
             # itself stays byte-identical and pipeable.
             print(world.sanitization.format(), file=sys.stderr)
-    text = full_report(dasu, fcc, survey, jobs=jobs, ledger=ledger)
+    text = result.artifact("paper-report").files["report.txt"].removesuffix("\n")
     if args.out:
         Path(args.out).write_text(text + "\n")
         print(f"report written to {args.out}")
@@ -486,6 +500,61 @@ def _sweep(args: argparse.Namespace) -> int:
             )
     else:
         print(text)
+    return 0
+
+
+def _dag_run(args: argparse.Namespace) -> int:
+    from .dag import DagSpec, DagStore, FileBundle, RunContext, get_backend, run_dag
+
+    jobs = resolve_jobs(args.jobs)
+    spec = DagSpec.from_json(args.spec)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    store = DagStore(out / "stages")
+    if not args.resume:
+        store.clear()
+    backend = get_backend(args.backend, jobs=jobs)
+    # The pool backend spends --jobs on stage-level fan-out; in-process
+    # runs spend it on intra-stage sharding (a build's user shards, the
+    # report's analysis fragments). Either way the artifacts are
+    # byte-identical for any value: jobs is a scheduling knob, excluded
+    # from stage keys and stage outputs by construction.
+    context = RunContext(
+        jobs=jobs if args.backend == "inprocess" else 1,
+        cache_root=args.cache_dir,
+        use_cache=not args.no_cache,
+        data_dir=args.data,
+    )
+    ledger = RunLedger()
+    result = run_dag(
+        spec, backend=backend, store=store, ledger=ledger, context=context
+    )
+    written: list[str] = []
+    for stage in spec.topological_order():
+        artifact = result.artifacts.get(stage.name)
+        if isinstance(artifact, FileBundle):
+            for name, text in artifact.files.items():
+                path = out / name
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(text)
+                written.append(name)
+    (out / "trace.jsonl").write_text(ledger.to_jsonl())
+    write_manifest(
+        run_manifest(
+            None,
+            command="dag",
+            data_dir=args.data,
+            extras={"dag": spec.to_payload()},
+        ),
+        out / "manifest.json",
+    )
+    print(
+        f"stages: {len(result.executed)} executed, "
+        f"{len(result.cached)} resumed from {out / 'stages'}",
+        file=sys.stderr,
+    )
+    files = ", ".join(written) if written else "no report files"
+    print(f"dag '{spec.name}' complete: {files} in {out}")
     return 0
 
 
@@ -598,6 +667,59 @@ def build_parser() -> argparse.ArgumentParser:
     add_world_args(p_sweep)
     add_cache_args(p_sweep)
     p_sweep.set_defaults(func=_sweep)
+
+    p_dag = sub.add_parser(
+        "dag",
+        help="declarative, resumable experiment DAGs (see repro.dag)",
+    )
+    dag_sub = p_dag.add_subparsers(dest="dag_command", required=True)
+    p_dag_run = dag_sub.add_parser(
+        "run",
+        help="execute (or resume) a DAG spec into a run directory",
+        description=(
+            "Execute a declarative experiment DAG. --spec names a JSON "
+            "spec: either an explicit stage list or a pipeline "
+            "shorthand such as {\"pipeline\": \"sweep\", \"config\": "
+            "{...}}. Every stage's output is content-addressed and "
+            "persisted under <out>/stages, so a killed run resumes by "
+            "re-invoking the same command: finished stages reload, "
+            "unfinished ones re-execute, and the final artifacts are "
+            "byte-identical to an uninterrupted run — for either "
+            "backend and any --jobs value."
+        ),
+    )
+    p_dag_run.add_argument("--spec", required=True,
+                           help="DAG spec JSON (stage list or pipeline "
+                                "shorthand)")
+    p_dag_run.add_argument("--out", required=True,
+                           help="run directory: stage store, report "
+                                "files, trace.jsonl, manifest.json")
+    p_dag_run.add_argument("--resume", default=True,
+                           action=argparse.BooleanOptionalAction,
+                           help="reuse completed stages from a previous "
+                                "(possibly killed) run of the same spec "
+                                "(--no-resume clears the stage store "
+                                "first; default: resume)")
+    p_dag_run.add_argument("--backend", default="inprocess",
+                           choices=("inprocess", "pool"),
+                           help="stage executor: 'inprocess' runs stages "
+                                "serially in this process, 'pool' fans "
+                                "each ready wave across --jobs worker "
+                                "processes (identical output bytes)")
+    p_dag_run.add_argument("--jobs", type=int, default=1,
+                           help="worker processes (stage-level for "
+                                "--backend pool, intra-stage otherwise); "
+                                "output is identical for any value")
+    p_dag_run.add_argument("--no-cache", action="store_true",
+                           help="ignore the world cache inside build "
+                                "stages and rebuild")
+    p_dag_run.add_argument("--cache-dir", default=None,
+                           help="world cache directory (default: "
+                                "$REPRO_CACHE_DIR or ~/.cache/repro/worlds)")
+    p_dag_run.add_argument("--data", default=None,
+                           help="dataset directory for specs with a "
+                                "'load-data' stage")
+    p_dag_run.set_defaults(func=_dag_run)
 
     p_export = sub.add_parser(
         "export", help="write every figure's data series to CSV"

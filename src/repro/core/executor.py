@@ -27,7 +27,7 @@ invariant as the results themselves.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
@@ -93,7 +93,9 @@ def run_sharded(
     initializer: Callable[..., None] | None = None,
     initargs: Sequence = (),
     ledger: RunLedger | None = None,
-) -> list[_ResultT]:
+    with_ledgers: bool = False,
+    on_result: Callable[[int, object], None] | None = None,
+) -> list:
     """Run ``worker`` over ``tasks``; results come back in task order.
 
     With ``jobs == 1`` (or at most one task) everything runs in the
@@ -106,26 +108,58 @@ def run_sharded(
     :func:`repro.obs.count` / :func:`repro.obs.span` land there), and
     the per-task ledgers are merged into ``ledger`` in task-submission
     order — deterministic for any worker count.
+
+    ``on_result`` is invoked in the calling process as each task's
+    result becomes available — ``on_result(task_index, raw_result)``,
+    where ``raw_result`` is exactly the element that will appear at
+    ``task_index`` in the returned list (a ``(result, shard)`` pair
+    when shards are kept). Invocation order follows *completion*, not
+    submission, so callbacks must be order-independent; the DAG
+    scheduler uses this to publish each stage's artifact the moment
+    the stage finishes instead of when its whole wave does.
+
+    With ``with_ledgers=True`` the per-task shard ledgers are returned
+    instead of (or in addition to) being merged: each element of the
+    result list becomes a ``(result, shard_ledger)`` pair, in task
+    order. The DAG scheduler uses this to persist every stage's own
+    events next to its artifact, so a cache hit can replay exactly the
+    ledger the original execution recorded.
     """
     task_list = list(tasks)
     n_jobs = resolve_jobs(jobs)
-    call = worker if ledger is None else _LedgeredWorker(worker)
+    keep_shards = with_ledgers or ledger is not None
+    call = _LedgeredWorker(worker) if keep_shards else worker
     if n_jobs == 1 or len(task_list) <= 1:
         if initializer is not None:
             initializer(*initargs)
-        raw = [call(task) for task in task_list]
+        raw = []
+        for index, task in enumerate(task_list):
+            outcome = call(task)
+            if on_result is not None:
+                on_result(index, outcome)
+            raw.append(outcome)
     else:
         with ProcessPoolExecutor(
             max_workers=min(n_jobs, len(task_list)),
             initializer=initializer,
             initargs=tuple(initargs),
         ) as pool:
-            futures = [pool.submit(call, task) for task in task_list]
-            raw = [future.result() for future in futures]
-    if ledger is None:
+            futures = {
+                pool.submit(call, task): index
+                for index, task in enumerate(task_list)
+            }
+            raw = [None] * len(task_list)
+            for future in as_completed(futures):
+                index = futures[future]
+                outcome = future.result()
+                if on_result is not None:
+                    on_result(index, outcome)
+                raw[index] = outcome
+    if not keep_shards:
         return raw
-    results = []
-    for result, shard in raw:
-        ledger.merge(shard)
-        results.append(result)
-    return results
+    if ledger is not None:
+        for _, shard in raw:
+            ledger.merge(shard)
+    if with_ledgers:
+        return raw
+    return [result for result, _ in raw]

@@ -35,6 +35,7 @@ import json
 import os
 import shutil
 import tempfile
+import time
 from pathlib import Path
 
 import numpy as np
@@ -66,6 +67,7 @@ __all__ = [
     "build_or_load_world",
     "cache_key",
     "default_cache_root",
+    "payload_key",
 ]
 
 #: Bump when the on-disk entry layout changes (invalidates all entries).
@@ -84,6 +86,24 @@ _REPORT_FILE = "sanitization.json"
 #: cache key invalidated older entries); its absence is tolerated for
 #: hand-assembled worlds stored without one.
 _TRACE_FILE = "trace.jsonl"
+#: Staging directories are hidden and can never collide with an entry
+#: (cache keys are 64 hex characters); ones untouched longer than this
+#: belong to killed stores and are swept.
+_STAGING_PREFIX = ".staging-"
+_STAGING_MAX_AGE_S = 3600.0
+
+
+def payload_key(payload: dict) -> str:
+    """SHA-256 over the canonical JSON rendering of ``payload``.
+
+    The single content-addressing primitive of the package: world cache
+    keys and :mod:`repro.dag` stage keys both hash through here, so
+    every key shares one canonicalization (sorted keys, JSON-native
+    values only — callers must canonicalize first, see
+    :func:`~repro.datasets.io.config_payload`).
+    """
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def cache_key(config: WorldConfig) -> str:
@@ -100,8 +120,7 @@ def cache_key(config: WorldConfig) -> str:
     # No default= fallback: config_payload canonicalizes to JSON-native
     # types and raises on anything else, so a key can never be built
     # from an unstable str() rendering.
-    blob = json.dumps(payload, sort_keys=True)
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return payload_key(payload)
 
 
 def default_cache_root() -> Path:
@@ -268,6 +287,19 @@ class WorldCache:
 
         Returns ``None`` (stores nothing) for trace-bearing worlds.
 
+        **Atomicity under interruption.** Every file is written into a
+        hidden ``.staging-*`` directory and published in one
+        ``os.replace`` — the only step that makes the entry visible.
+        A process killed at any earlier point leaves nothing but a
+        staging directory whose name can never collide with a cache key
+        (keys are 64 hex characters; staging names start with a dot), so
+        a concurrent :meth:`load` observes either no entry or a complete
+        one, never a partial write. Orphaned staging directories from
+        killed stores are swept opportunistically once they are clearly
+        abandoned. (The guarantee covers process interruption; a power
+        loss may still lose buffered writes — entries are validated on
+        load and any damage reads as a miss.)
+
         Safe under concurrent stores of the same config: the build is
         deterministic, so losing the publish race to another process is
         a benign success — if a valid entry already occupies the path,
@@ -278,8 +310,9 @@ class WorldCache:
         if not self._cacheable(world.config):
             return None
         self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_staging()
         staging = Path(
-            tempfile.mkdtemp(prefix=".staging-", dir=self.root)
+            tempfile.mkdtemp(prefix=_STAGING_PREFIX, dir=self.root)
         )
         try:
             columns = world.all_columns
@@ -321,11 +354,43 @@ class WorldCache:
                     shutil.rmtree(staging, ignore_errors=True)
                     return entry
                 shutil.rmtree(entry, ignore_errors=True)
-                os.replace(staging, entry)
+                try:
+                    os.replace(staging, entry)
+                except OSError:
+                    # A concurrent storer re-published between the
+                    # rmtree and the replace. Deterministic builds make
+                    # a valid occupant equivalent to ours; anything
+                    # else is a real failure.
+                    if self.load(world.config) is None:
+                        raise
+                    shutil.rmtree(staging, ignore_errors=True)
         except BaseException:
             shutil.rmtree(staging, ignore_errors=True)
             raise
         return entry
+
+    def _sweep_stale_staging(self) -> None:
+        """Drop abandoned ``.staging-*`` directories (killed stores).
+
+        Only directories untouched for well over any plausible store
+        duration are removed, so an in-flight concurrent store (whose
+        staging directory's mtime advances with every file written) is
+        never disturbed.
+        """
+        try:
+            candidates = list(self.root.iterdir())
+        except OSError:
+            return
+        now = time.time()
+        for path in candidates:
+            if not path.name.startswith(_STAGING_PREFIX):
+                continue
+            try:
+                abandoned = now - path.stat().st_mtime > _STAGING_MAX_AGE_S
+            except OSError:
+                continue
+            if abandoned:
+                shutil.rmtree(path, ignore_errors=True)
 
     def invalidate(self, config: WorldConfig) -> bool:
         """Drop the entry for ``config``; returns whether one existed."""

@@ -37,6 +37,7 @@ from .records import PeriodObservation, UserRecord
 from .world import WorldConfig
 
 __all__ = [
+    "config_from_payload",
     "config_payload",
     "read_config_json",
     "read_survey_csv",
@@ -428,11 +429,26 @@ def write_config_json(config: WorldConfig, path: str | Path) -> None:
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
 
 
+def config_from_payload(payload: Mapping) -> WorldConfig:
+    """Rebuild a :class:`WorldConfig` from a :func:`config_payload`
+    dict (the ``config.json`` schema, also carried inside DAG stage
+    configs). The inverse is not exact field-by-field — omitted
+    ``faults``/``sanitize`` come back at their defaults — but
+    round-tripping any config through payload and back yields an equal
+    config."""
+    data = dict(payload)
+    if "years" in data:  # optional in hand-written (partial) payloads
+        data["years"] = tuple(data["years"])
+    try:
+        return WorldConfig(**data)
+    except TypeError as exc:
+        raise DatasetError(f"not a world config payload ({exc})") from None
+
+
 def read_config_json(path: str | Path) -> WorldConfig:
     """Load a world configuration written by :func:`write_config_json`."""
     payload = json.loads(Path(path).read_text())
-    payload["years"] = tuple(payload["years"])
     try:
-        return WorldConfig(**payload)
-    except TypeError as exc:
-        raise DatasetError(f"{path}: not a world config ({exc})") from None
+        return config_from_payload(payload)
+    except DatasetError as exc:
+        raise DatasetError(f"{path}: {exc}") from None

@@ -49,3 +49,7 @@ class LedgerError(ReproError, ValueError):
 
 class SweepError(ReproError, ValueError):
     """A scenario grid or sweep run was invalid (see :mod:`repro.sweep`)."""
+
+
+class DagError(ReproError, ValueError):
+    """An experiment DAG spec or run was invalid (see :mod:`repro.dag`)."""

@@ -116,6 +116,12 @@ class RunLedger:
                 )
             )
 
+    @property
+    def is_empty(self) -> bool:
+        """Whether the ledger recorded nothing at all (the DAG store
+        skips persisting empty stage shards)."""
+        return not self.counters and not self.gauges and not self.spans
+
     # -- merging -----------------------------------------------------------
 
     def merge(self, other: "RunLedger") -> "RunLedger":

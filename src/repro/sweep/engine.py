@@ -240,22 +240,27 @@ def run_sweep(
                 f"(expected one of: {known})"
             )
     chosen_seeds = _resolve_seeds(grid, seeds)
-    cells = grid.configs(base_config, chosen_seeds)
     root = None if cache_root is None else str(cache_root)
-    tasks = [
-        _CellTask(
-            scenario=scenario.name,
-            seed=seed,
-            config=config,
-            experiments=experiments,
-            cache_root=root,
-            use_cache=use_cache,
-        )
-        for scenario, seed, config in cells
-    ]
-    outcomes = run_sharded(_run_cell, tasks, jobs=jobs, ledger=ledger)
-    results = tuple(result for result, _ in outcomes)
-    hits = sum(1 for _, from_cache in outcomes if from_cache)
+    # The fan-out rides the experiment-DAG scheduler: one sweep-cell
+    # stage per (scenario, seed), declared in scenario-major order so
+    # execution and ledger-merge order match the pre-DAG engine exactly.
+    # The pool backend shards through run_sharded as before, so results
+    # and the merged ledger stay byte-identical for any worker count.
+    # Lazy import: repro.dag's pipeline kinds call back into this module.
+    from ..dag import ProcessPoolBackend, RunContext, run_dag, sweep_spec
+
+    spec = sweep_spec(
+        base_config, grid, chosen_seeds, experiments, with_report=False
+    )
+    run = run_dag(
+        spec,
+        backend=ProcessPoolBackend(jobs=jobs),
+        ledger=ledger,
+        context=RunContext(jobs=1, cache_root=root, use_cache=use_cache),
+    )
+    outcomes = [run.artifacts[stage.name] for stage in spec.stages]
+    results = tuple(outcome.result for outcome in outcomes)
+    hits = sum(1 for outcome in outcomes if outcome.from_cache)
     return SweepResult(
         grid=grid,
         base_config=base_config,

@@ -178,3 +178,99 @@ class TestMatchedExperiments:
             demand_outcome_array("peak", include_bt=False),
         )
         assert result.result.n_pairs > 0
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: the analysis twins agree on a damaged-then-cleaned
+# world too, where missing covariates and NaN profiles occur in bulk.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def faulted_pools(faulted_world_default):
+    """Object/columnar pool pair from the faulted + sanitized world."""
+    users = faulted_world_default.dasu.users
+    control = [u for u in users if not u.bt_user]
+    treatment = [u for u in users if u.bt_user]
+    return (
+        control,
+        treatment,
+        UserColumns.from_records(control),
+        UserColumns.from_records(treatment),
+    )
+
+
+class TestFaultedWorldEquivalence:
+    def test_match_pairs_arrays_matches_object_path(self, faulted_pools):
+        """Core matcher: identical pairs, by user, on faulted pools."""
+        from repro.core.matching import match_pairs, match_pairs_arrays
+
+        control, treatment, control_cols, treatment_cols = faulted_pools
+        names = CONFOUNDERS_MARKET
+        cmask = eligibility_mask(control_cols, names)
+        tmask = eligibility_mask(treatment_cols, names)
+        # Fault injection must make eligibility a real filter here.
+        assert cmask.sum() < len(control)
+        eligible_control = [u for u, ok in zip(control, cmask) if ok]
+        eligible_treatment = [u for u, ok in zip(treatment, tmask) if ok]
+        by_object = match_pairs(
+            eligible_control,
+            eligible_treatment,
+            [CONFOUNDER_EXTRACTORS[c] for c in names],
+        )
+        by_arrays = match_pairs_arrays(
+            [
+                CONFOUNDER_COLUMNS[c](control_cols.select_users(cmask))
+                for c in names
+            ],
+            [
+                CONFOUNDER_COLUMNS[c](treatment_cols.select_users(tmask))
+                for c in names
+            ],
+        )
+        assert by_arrays.n_matched == by_object.n_matched > 0
+        assert by_arrays.n_control == by_object.n_control
+        assert by_arrays.n_treatment == by_object.n_treatment
+        assert [
+            (p.control.user_id, p.treatment.user_id, p.distance)
+            for p in by_object.pairs
+        ] == [
+            (
+                eligible_control[p.control].user_id,
+                eligible_treatment[p.treatment].user_id,
+                p.distance,
+            )
+            for p in by_arrays.pairs
+        ]
+
+    @pytest.mark.parametrize(
+        "confounders",
+        [CONFOUNDERS_ALWAYS, CONFOUNDERS_MARKET],
+        ids=["always-present", "with-market-covariates"],
+    )
+    def test_matched_experiment_identical(self, faulted_pools, confounders):
+        control, treatment, control_cols, treatment_cols = faulted_pools
+        by_object = matched_experiment(
+            "bt-vs-not",
+            control,
+            treatment,
+            confounders,
+            demand_outcome("peak", include_bt=False),
+        )
+        by_column = matched_experiment_columns(
+            "bt-vs-not",
+            control_cols,
+            treatment_cols,
+            confounders,
+            demand_outcome_array("peak", include_bt=False),
+        )
+        assert by_object.result == by_column.result
+        assert by_object.matching.n_matched == by_column.matching.n_matched
+        assert by_object.result.n_pairs > 0
+
+    def test_binned_demand_curve_identical(self, faulted_world_default):
+        users = faulted_world_default.dasu.users
+        columns = UserColumns.from_records(users)
+        a = binned_demand_curve(users, metric="peak")
+        b = binned_demand_curve(columns, metric="peak")
+        assert a.points == b.points

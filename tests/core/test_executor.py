@@ -44,6 +44,26 @@ class TestRunSharded:
             _square, tasks, jobs=4
         )
 
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_on_result_sees_every_task_once(self, jobs):
+        seen = []
+        results = run_sharded(
+            _square, [3, 1, 2], jobs=jobs,
+            on_result=lambda index, result: seen.append((index, result)),
+        )
+        assert results == [9, 1, 4]
+        # Completion order is scheduling-dependent; coverage is not.
+        assert sorted(seen) == [(0, 9), (1, 1), (2, 4)]
+
+    def test_on_result_streams_serially_in_order(self):
+        # The serial path fires the hook after each task, in task
+        # order — this is what gives the DAG's in-process backend its
+        # per-stage (not per-wave) publication granularity.
+        seen = []
+        run_sharded(_square, [3, 1, 2], jobs=1,
+                    on_result=lambda i, r: seen.append(i))
+        assert seen == [0, 1, 2]
+
 
 class TestRunShardedLedger:
     def test_events_merged_into_ledger(self):

@@ -1,0 +1,237 @@
+"""Content-addressed scheduling: keys, resume, and trace invariance.
+
+The contracts under test:
+
+* stage keys chain through upstream *output* hashes, so editing one
+  stage re-keys exactly its descendants;
+* scheduling knobs (:class:`~repro.dag.RunContext`) never enter keys;
+* re-running a completed run executes **zero** stages, and its merged
+  ledger is byte-identical to the original — the trace cannot tell a
+  cached stage from an executed one.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import (
+    DagSpec,
+    DagStore,
+    RunContext,
+    StageSpec,
+    register_stage_kind,
+    run_dag,
+    stage_key,
+)
+from repro.exceptions import DagError
+from repro.obs.ledger import RunLedger
+
+from . import toy_kinds  # noqa: F401
+
+
+def _diamond(bias: int = 1) -> DagSpec:
+    return DagSpec(
+        name="diamond",
+        stages=(
+            StageSpec(name="a", kind="toy-emit",
+                      config={"tag": "a", "value": 3}),
+            StageSpec(name="b", kind="toy-combine", depends_on=("a",),
+                      config={"bias": bias}),
+            StageSpec(name="c", kind="toy-combine", depends_on=("a",),
+                      config={"bias": 10}),
+            StageSpec(name="d", kind="toy-combine", depends_on=("b", "c")),
+        ),
+    )
+
+
+class TestStageKeys:
+    def test_key_ignores_context(self):
+        spec = _diamond()
+        key = stage_key(spec.stage("a"), {})
+        # Keys must be independent of every scheduling knob.
+        assert key == stage_key(spec.stage("a"), {})
+        run1 = run_dag(spec, context=RunContext(jobs=1))
+        run2 = run_dag(spec, context=RunContext(jobs=4, cache_root="/x"))
+        assert run1.keys == run2.keys
+        assert run1.artifacts == run2.artifacts
+
+    def test_config_change_rekeys_descendants_only(self):
+        base = run_dag(_diamond(bias=1))
+        edited = run_dag(_diamond(bias=2))
+        assert edited.keys["a"] == base.keys["a"]
+        assert edited.keys["c"] == base.keys["c"]
+        assert edited.keys["b"] != base.keys["b"]
+        assert edited.keys["d"] != base.keys["d"]  # via b's output hash
+
+    def test_key_chains_output_hash_not_key(self):
+        """Same-output stages under different keys share downstream keys."""
+        spec_a = DagSpec(name="x", stages=(
+            StageSpec(name="src", kind="toy-emit",
+                      config={"tag": "one", "value": 7}),
+            StageSpec(name="sink", kind="toy-combine", depends_on=("src",)),
+        ))
+        spec_b = DagSpec(name="x", stages=(
+            StageSpec(name="src", kind="toy-emit",
+                      config={"tag": "two", "value": 7}),  # same output
+            StageSpec(name="sink", kind="toy-combine", depends_on=("src",)),
+        ))
+        run_a, run_b = run_dag(spec_a), run_dag(spec_b)
+        assert run_a.keys["src"] != run_b.keys["src"]
+        assert run_a.output_hashes["src"] == run_b.output_hashes["src"]
+        assert run_a.keys["sink"] == run_b.keys["sink"]
+
+    def test_renaming_an_edge_rekeys(self):
+        stage = StageSpec(name="sink", kind="toy-combine", depends_on=("u",))
+        renamed = StageSpec(name="sink", kind="toy-combine", depends_on=("v",))
+        hashes = {"u": "h1", "v": "h1"}
+        assert stage_key(stage, hashes) != stage_key(renamed, hashes)
+
+
+class TestResume:
+    def test_finished_stages_publish_before_their_wave_ends(self, tmp_path):
+        """A mid-wave crash must not lose already-completed stages.
+
+        Both stages are ready in the same wave; the second one raises.
+        Per-stage publication means the first stage's artifact is
+        already in the store when the run dies, so a resume skips it.
+        """
+        spec = DagSpec(
+            name="d",
+            stages=(
+                StageSpec(name="ok", kind="toy-emit",
+                          config={"tag": "ok", "value": 7}),
+                StageSpec(name="boom", kind="toy-boom"),
+            ),
+        )
+        store = DagStore(tmp_path / "stages")
+        with pytest.raises(RuntimeError, match="detonated"):
+            run_dag(spec, store=store)
+        key = stage_key(spec.stage("ok"), {})
+        stored = store.load("ok", key)
+        assert stored is not None
+        assert stored.artifact == 7
+
+    def test_second_run_executes_nothing(self, tmp_path):
+        spec = _diamond()
+        store = DagStore(tmp_path / "stages")
+        first = run_dag(spec, store=store)
+        assert set(first.executed) == {"a", "b", "c", "d"}
+        second = run_dag(spec, store=store)
+        assert second.executed == ()
+        assert set(second.cached) == {"a", "b", "c", "d"}
+        assert second.artifacts == first.artifacts
+        assert second.output_hashes == first.output_hashes
+
+    def test_resumed_trace_byte_identical(self, tmp_path):
+        spec = _diamond()
+        store = DagStore(tmp_path / "stages")
+        cold, warm = RunLedger(), RunLedger()
+        run_dag(spec, store=store, ledger=cold)
+        run_dag(spec, store=store, ledger=warm)
+        assert warm.to_jsonl() == cold.to_jsonl()
+
+    def test_partial_resume_runs_only_the_rest(self, tmp_path):
+        log = tmp_path / "executions.log"
+        spec = DagSpec(name="chain", stages=(
+            StageSpec(name="a", kind="toy-logged",
+                      config={"tag": "a", "log": str(log), "value": 1}),
+            StageSpec(name="b", kind="toy-logged", depends_on=("a",),
+                      config={"tag": "b", "log": str(log), "value": 1}),
+        ))
+        store = DagStore(tmp_path / "stages")
+        run_dag(spec, store=store)
+        assert log.read_text().splitlines() == ["a", "b"]
+        # Damage b's entry: only b may re-execute.
+        (store.stage_dir("b") / "meta.json").unlink()
+        resumed = run_dag(spec, store=store)
+        assert resumed.executed == ("b",)
+        assert resumed.cached == ("a",)
+        assert log.read_text().splitlines() == ["a", "b", "b"]
+
+    def test_uncacheable_kinds_always_execute(self, tmp_path):
+        state = tmp_path / "state.txt"
+        state.write_text("abc")
+        spec = DagSpec(name="v", stages=(
+            StageSpec(name="probe", kind="toy-volatile",
+                      config={"path": str(state)}),
+        ))
+        store = DagStore(tmp_path / "stages")
+        assert run_dag(spec, store=store).artifact("probe") == 3
+        state.write_text("abcdef")
+        rerun = run_dag(spec, store=store)
+        assert rerun.artifact("probe") == 6
+        assert rerun.executed == ("probe",)
+        assert not store.stage_dir("probe").exists()
+
+
+class TestFingerprints:
+    def test_fingerprint_supplies_output_hash(self, tmp_path):
+        def build_fat(config, inputs, ctx):
+            # Payload varies per call; the fingerprint must hide that.
+            return {"id": config["id"], "noise": object()}
+
+        register_stage_kind(
+            "toy-fat", build_fat, cacheable=False,
+            fingerprint=lambda art: f"fat-{art['id']}",
+        )
+        spec = DagSpec(name="f", stages=(
+            StageSpec(name="w", kind="toy-fat", config={"id": 9}),
+        ))
+        run = run_dag(spec)
+        assert run.output_hashes["w"] == "fat-9"
+
+
+class TestRunResult:
+    def test_missing_artifact_raises(self):
+        run = run_dag(_diamond())
+        assert run.artifact("d") == (3 + 1) + (3 + 10)
+        with pytest.raises(DagError, match="no stage 'ghost'"):
+            run.artifact("ghost")
+
+
+# --- Hypothesis: zero re-execution over random completed runs ---------------
+
+@st.composite
+def random_logged_dags(draw):
+    """Random acyclic specs whose every stage logs its executions."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    edges = []
+    for i in range(n):
+        earlier = list(range(i))
+        edges.append(draw(
+            st.lists(st.sampled_from(earlier), unique=True,
+                     max_size=len(earlier))
+            if earlier else st.just([])
+        ))
+    return edges
+
+
+@given(edges=random_logged_dags())
+@settings(max_examples=30, deadline=None)
+def test_rerunning_any_completed_run_executes_zero_stages(edges):
+    with tempfile.TemporaryDirectory() as td:
+        log = Path(td) / "log"
+        spec = DagSpec(name="r", stages=tuple(
+            StageSpec(
+                name=f"s{i}",
+                kind="toy-logged",
+                depends_on=tuple(f"s{j}" for j in deps),
+                config={"tag": f"s{i}", "log": str(log), "value": i},
+            )
+            for i, deps in enumerate(edges)
+        ))
+        store = DagStore(Path(td) / "stages")
+        first = run_dag(spec, store=store)
+        executions_after_first = len(log.read_text().splitlines())
+        assert executions_after_first == len(spec.stages)
+        second = run_dag(spec, store=store)
+        assert second.executed == ()
+        assert len(second.cached) == len(spec.stages)
+        assert second.artifacts == first.artifacts
+        # The log proves no stage function ran a second time.
+        assert len(log.read_text().splitlines()) == executions_after_first

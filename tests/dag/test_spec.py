@@ -1,0 +1,201 @@
+"""Parse-time validation and scheduling properties of DAG specs.
+
+Everything invalid — cycles, dangling edges, duplicate names, unknown
+kinds, non-JSON configs — must be rejected when the spec is
+*constructed*, never at run time; and for every valid spec,
+``topological_order`` must be a deterministic dependency-respecting
+permutation. The Hypothesis suite drives both over random DAGs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import DagSpec, StageSpec, register_stage_kind, stage_kind
+from repro.exceptions import DagError
+
+from . import toy_kinds  # noqa: F401  (registers the toy-* kinds)
+
+
+def _stage(name, deps=(), value=0):
+    return StageSpec(
+        name=name,
+        kind="toy-emit",
+        depends_on=tuple(deps),
+        config={"tag": name, "value": value},
+    )
+
+
+class TestStageSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DagError, match="unknown stage kind"):
+            StageSpec(name="a", kind="no-such-kind")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DagError, match="non-empty string name"):
+            StageSpec(name="", kind="toy-emit")
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(DagError, match="depends on itself"):
+            StageSpec(name="a", kind="toy-emit", depends_on=("a",))
+
+    def test_duplicate_dependency_rejected(self):
+        with pytest.raises(DagError, match="twice"):
+            StageSpec(name="b", kind="toy-emit", depends_on=("a", "a"))
+
+    def test_non_json_config_rejected(self):
+        with pytest.raises(DagError, match="non-JSON-native"):
+            StageSpec(name="a", kind="toy-emit", config={"x": object()})
+
+    def test_payload_round_trip(self):
+        stage = _stage("a", value=3)
+        assert StageSpec.from_payload(stage.to_payload()) == stage
+
+    def test_unknown_payload_keys_rejected(self):
+        with pytest.raises(DagError, match="unknown keys"):
+            StageSpec.from_payload(
+                {"name": "a", "kind": "toy-emit", "extra": 1}
+            )
+
+
+class TestDagSpecValidation:
+    def test_empty_dag_rejected(self):
+        with pytest.raises(DagError, match="no stages"):
+            DagSpec(name="d", stages=())
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(DagError, match="duplicate stage name"):
+            DagSpec(name="d", stages=(_stage("a"), _stage("a")))
+
+    def test_dangling_dependency_rejected(self):
+        with pytest.raises(DagError, match="unknown stage 'ghost'"):
+            DagSpec(name="d", stages=(_stage("a", deps=("ghost",)),))
+
+    def test_cycle_rejected_naming_stages(self):
+        with pytest.raises(DagError, match="cycle among: a, b"):
+            DagSpec(
+                name="d",
+                stages=(_stage("a", deps=("b",)), _stage("b", deps=("a",))),
+            )
+
+    def test_cycle_rejected_from_payload(self, tmp_path):
+        payload = {
+            "name": "d",
+            "stages": [
+                {"name": "a", "kind": "toy-emit", "depends_on": ["c"],
+                 "config": {"tag": "a", "value": 1}},
+                {"name": "b", "kind": "toy-emit", "depends_on": ["a"],
+                 "config": {"tag": "b", "value": 1}},
+                {"name": "c", "kind": "toy-emit", "depends_on": ["b"],
+                 "config": {"tag": "c", "value": 1}},
+            ],
+        }
+        with pytest.raises(DagError, match="cycle"):
+            DagSpec.from_payload(payload)
+        spec_file = tmp_path / "dag.json"
+        spec_file.write_text(json.dumps(payload))
+        with pytest.raises(DagError, match="cycle"):
+            DagSpec.from_json(spec_file)
+
+    def test_from_json_rejects_bad_file(self, tmp_path):
+        with pytest.raises(DagError, match="cannot read"):
+            DagSpec.from_json(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(DagError, match="not valid JSON"):
+            DagSpec.from_json(bad)
+
+    def test_declaration_order_breaks_ties(self):
+        spec = DagSpec(
+            name="d",
+            stages=(
+                _stage("z"),
+                _stage("a"),
+                _stage("m", deps=("z", "a")),
+            ),
+        )
+        assert [s.name for s in spec.topological_order()] == ["z", "a", "m"]
+
+
+class TestKindRegistry:
+    def test_reregister_same_fn_is_noop(self):
+        kind = register_stage_kind("toy-emit", toy_kinds.emit)
+        assert kind is stage_kind("toy-emit")
+
+    def test_rebind_rejected(self):
+        with pytest.raises(DagError, match="refusing to rebind"):
+            register_stage_kind("toy-emit", toy_kinds.combine)
+
+
+# --- Hypothesis: random DAGs -------------------------------------------------
+
+@st.composite
+def random_dags(draw) -> DagSpec:
+    """Random acyclic specs: stage i may depend only on stages j < i."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    stages = []
+    for i in range(n):
+        earlier = [f"s{j}" for j in range(i)]
+        deps = draw(
+            st.lists(st.sampled_from(earlier), unique=True, max_size=len(earlier))
+            if earlier
+            else st.just([])
+        )
+        stages.append(
+            StageSpec(
+                name=f"s{i}",
+                kind="toy-combine" if deps else "toy-emit",
+                depends_on=tuple(deps),
+                config=(
+                    {"bias": draw(st.integers(0, 5))}
+                    if deps
+                    else {"tag": f"s{i}", "value": draw(st.integers(0, 5))}
+                ),
+            )
+        )
+    return DagSpec(name="random", stages=tuple(stages))
+
+
+@given(spec=random_dags())
+@settings(max_examples=60, deadline=None)
+def test_topological_order_is_valid(spec):
+    order = spec.topological_order()
+    assert sorted(s.name for s in order) == sorted(s.name for s in spec.stages)
+    seen: set[str] = set()
+    for stage in order:
+        assert set(stage.depends_on) <= seen
+        seen.add(stage.name)
+
+
+@given(spec=random_dags())
+@settings(max_examples=60, deadline=None)
+def test_payload_round_trip_preserves_spec(spec):
+    clone = DagSpec.from_payload(spec.to_payload())
+    assert clone == spec
+    assert [s.name for s in clone.topological_order()] == [
+        s.name for s in spec.topological_order()
+    ]
+
+
+@given(spec=random_dags(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_closing_any_edge_into_a_loop_is_rejected(spec, data):
+    """Reversing any existing dependency edge always creates a cycle."""
+    edges = [
+        (stage.name, dep) for stage in spec.stages for dep in stage.depends_on
+    ]
+    if not edges:
+        return
+    dependent, dependency = data.draw(st.sampled_from(edges), label="edge")
+    payload = spec.to_payload()
+    for entry in payload["stages"]:
+        if entry["name"] == dependency:
+            entry["depends_on"] = list(entry.get("depends_on", [])) + [
+                dependent
+            ]
+    with pytest.raises(DagError, match="cycle"):
+        DagSpec.from_payload(payload)

@@ -1,0 +1,141 @@
+"""Crash-safety and integrity of the stage-artifact store.
+
+A :class:`~repro.dag.store.DagStore` entry must be all-or-nothing: a
+reader can never observe a partial artifact (publish is a single
+``os.replace``), and any damage — truncation, corruption, a stale key,
+a foreign format — reads as a miss, never as wrong data.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.dag import DagStore
+from repro.obs.ledger import RunLedger
+
+from . import toy_kinds  # noqa: F401
+
+
+@pytest.fixture()
+def store(tmp_path) -> DagStore:
+    return DagStore(tmp_path / "stages")
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, store):
+        store.store("a", "key1", {"answer": 42})
+        hit = store.load("a", "key1")
+        assert hit is not None
+        assert hit.artifact == {"answer": 42}
+        assert hit.ledger is None
+
+    def test_ledger_shard_rides_along(self, store):
+        shard = RunLedger()
+        shard.count("toy.events", 3)
+        with shard.span("toy/x"):
+            pass
+        store.store("a", "key1", 1, ledger=shard)
+        hit = store.load("a", "key1")
+        assert hit.ledger is not None
+        assert hit.ledger.to_jsonl() == shard.to_jsonl()
+
+    def test_empty_ledger_not_persisted(self, store):
+        store.store("a", "key1", 1, ledger=RunLedger())
+        assert not (store.stage_dir("a") / "ledger.jsonl").exists()
+        assert store.load("a", "key1").ledger is None
+
+    def test_output_hash_override(self, store):
+        store.store("a", "key1", 1, output_hash="fingerprint-123")
+        assert store.load("a", "key1").output_hash == "fingerprint-123"
+
+    def test_slash_names_stay_flat(self, store):
+        store.store("cell/base/seed=5", "k", 1)
+        entry = store.stage_dir("cell/base/seed=5")
+        assert entry.parent == store.root  # one level, no subdirs
+        assert store.load("cell/base/seed=5", "k").artifact == 1
+
+    def test_replace_under_new_key(self, store):
+        store.store("a", "old", 1)
+        store.store("a", "new", 2)
+        assert store.load("a", "old") is None
+        assert store.load("a", "new").artifact == 2
+
+
+class TestMissModes:
+    def test_absent_entry(self, store):
+        assert store.load("a", "key1") is None
+
+    def test_wrong_key(self, store):
+        store.store("a", "key1", 1)
+        assert store.load("a", "other-key") is None
+
+    def test_truncated_artifact(self, store):
+        store.store("a", "key1", list(range(100)))
+        path = store.stage_dir("a") / "artifact.pkl"
+        path.write_bytes(path.read_bytes()[:10])
+        assert store.load("a", "key1") is None
+
+    def test_corrupted_artifact_bytes(self, store):
+        store.store("a", "key1", list(range(100)))
+        path = store.stage_dir("a") / "artifact.pkl"
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert store.load("a", "key1") is None
+
+    def test_missing_meta(self, store):
+        store.store("a", "key1", 1)
+        (store.stage_dir("a") / "meta.json").unlink()
+        assert store.load("a", "key1") is None
+
+    def test_foreign_format_version(self, store):
+        store.store("a", "key1", 1)
+        meta_path = store.stage_dir("a") / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["dag_store_format"] = 999
+        meta_path.write_text(json.dumps(meta))
+        assert store.load("a", "key1") is None
+
+    def test_damaged_ledger(self, store):
+        shard = RunLedger()
+        shard.count("x")
+        store.store("a", "key1", 1, ledger=shard)
+        (store.stage_dir("a") / "ledger.jsonl").write_text("{broken\n")
+        assert store.load("a", "key1") is None
+
+
+class TestAtomicity:
+    def test_no_staging_residue_after_store(self, store):
+        store.store("a", "key1", 1)
+        leftovers = [
+            p for p in store.root.iterdir() if p.name.startswith(".staging-")
+        ]
+        assert leftovers == []
+
+    def test_interrupted_store_invisible(self, store, monkeypatch):
+        """A crash before the final replace leaves no visible entry."""
+        boom = RuntimeError("killed mid-publish")
+
+        def exploding_replace(src, dst):
+            raise boom
+
+        store.store("a", "key1", 1)  # pre-existing entry must survive
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(RuntimeError, match="killed mid-publish"):
+            store.store("b", "key2", 2)
+        monkeypatch.undo()
+        assert store.load("b", "key2") is None
+        assert store.load("a", "key1").artifact == 1
+        # The failed attempt cleaned its staging directory up.
+        assert [p for p in store.root.iterdir()
+                if p.name.startswith(".staging-")] == []
+
+    def test_clear_removes_everything(self, store):
+        store.store("a", "key1", 1)
+        store.clear()
+        assert not store.root.exists()
+        assert store.load("a", "key1") is None
+        store.clear()  # idempotent on an absent root

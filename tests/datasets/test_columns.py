@@ -36,7 +36,7 @@ from repro.datasets import (
     sanitize_users,
 )
 from repro.datasets.columns import OPTIONAL_FLAGS, PERIOD_FIELDS, USER_FIELDS
-from repro.datasets.io import write_users_csv, write_users_npy
+from repro.datasets.io import read_users_npy, write_users_csv, write_users_npy
 from repro.datasets.records import PeriodObservation, UserRecord
 from repro.exceptions import DatasetError
 
@@ -479,3 +479,60 @@ class TestParallelByteIdentity:
         assert (tmp_path / "serial.npy").read_bytes() == (
             tmp_path / "parallel.npy"
         ).read_bytes()
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: every equivalence above re-pinned on a damaged world.
+# ---------------------------------------------------------------------------
+
+
+class TestFaultedWorldEquivalence:
+    """The columnar plane on a faulted + sanitized world.
+
+    Fault injection is where the representation's edge cases occur in
+    bulk — NaN-laced hourly profiles, absent market covariates, whole
+    periods dropped by cleaning — so the pristine-world round-trip and
+    byte-identity claims are re-pinned on ``faulted_world_default``.
+    """
+
+    def test_faults_actually_left_scars(self, faulted_world_default):
+        # Guard against the equivalences below passing vacuously: the
+        # sanitizer must have had real damage to repair or drop, and the
+        # surviving records must still carry missing market covariates.
+        report = faulted_world_default.sanitization
+        assert report is not None
+        assert report.total_repaired + report.total_dropped > 0
+        users = faulted_world_default.all_users
+        assert any(u.upgrade_cost_usd_per_mbps is None for u in users)
+        assert any(u.current.hourly_mean_mbps is None for u in users)
+
+    def test_records_round_trip_value_identical(self, faulted_world_default):
+        users = faulted_world_default.all_users
+        assert records_equal(rows_to_records(records_to_rows(users)), users)
+
+    def test_all_columns_matches_object_path(self, faulted_world_default):
+        world = faulted_world_default
+        assert records_equal(world.all_columns.to_records(), world.all_users)
+
+    def test_csv_bytes_identical_from_records_and_columns(
+        self, tmp_path, faulted_world_default
+    ):
+        world = faulted_world_default
+        from_records = tmp_path / "records.csv"
+        from_columns = tmp_path / "columns.csv"
+        write_users_csv(world.all_users, from_records)
+        write_users_csv(world.all_columns, from_columns)
+        assert from_records.read_bytes() == from_columns.read_bytes()
+
+    def test_npy_round_trip_is_byte_stable(
+        self, tmp_path, faulted_world_default
+    ):
+        first = tmp_path / "first.npy"
+        second = tmp_path / "second.npy"
+        write_users_npy(faulted_world_default.all_columns, first)
+        reloaded = read_users_npy(first, mmap=False)
+        write_users_npy(reloaded, second)
+        assert first.read_bytes() == second.read_bytes()
+        assert records_equal(
+            reloaded.to_records(), faulted_world_default.all_users
+        )
