@@ -41,7 +41,15 @@ from .price import Table4Result
 from .report import format_curve, format_experiment_row
 from .upgrade_cost import Table5Result
 
-__all__ = ["full_report", "section_reports"]
+__all__ = [
+    "FRAGMENT_INPUTS",
+    "assemble_report",
+    "fragment_inputs",
+    "fragment_keys",
+    "full_report",
+    "render_fragment",
+    "section_reports",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -279,6 +287,30 @@ _FRAGMENTS: dict[str, Callable] = {
     "fig12": _fragment_fig12,
 }
 
+#: The world slices each fragment actually reads. Everything not listed
+#: uses the Dasu dataset alone — the map is what lets the fragment-level
+#: DAG (see :func:`repro.dag.pipelines.fragment_report_spec`) key each
+#: fragment on only the content hashes it depends on, so appending
+#: households recomputes the Dasu-driven fragments but leaves
+#: survey-only ones (fig10, table5) cached.
+FRAGMENT_INPUTS: dict[str, tuple[str, ...]] = {
+    "fig3": ("dasu", "fcc"),
+    "table4": ("dasu", "survey"),
+    "fig10": ("survey",),
+    "table5": ("survey",),
+}
+
+
+def fragment_inputs(key: str) -> tuple[str, ...]:
+    """The slice names fragment ``key`` reads (default: Dasu only)."""
+    return FRAGMENT_INPUTS.get(key, ("dasu",))
+
+
+def fragment_keys() -> tuple[str, ...]:
+    """Every fragment key, in declaration (= output) order."""
+    return tuple(_FRAGMENTS)
+
+
 #: The paper's sections: an optional static header plus the ordered
 #: fragment keys whose blocks make up the section body.
 _SECTIONS: tuple[tuple[str | None, tuple[str, ...]], ...] = (
@@ -301,7 +333,9 @@ class _FragmentOutput:
     key: str
     text: str | None
     error: str | None
-    timing: StageTiming
+    #: ``None`` when the fragment was rendered outside a timed pass
+    #: (:func:`assemble_report` over DAG-produced fragments).
+    timing: StageTiming | None
 
     @property
     def failed(self) -> bool:
@@ -371,6 +405,74 @@ def _assemble_section(
         if out.text:
             lines.append(out.text)
     return "\n".join(lines)
+
+
+def render_fragment(
+    key: str,
+    dasu: Sequence[UserRecord] = (),
+    fcc: Sequence[UserRecord] | None = None,
+    survey: PlanSurvey | None = None,
+) -> tuple[str | None, str | None]:
+    """Render one fragment without timing or ledger accounting.
+
+    Returns ``(text, error)`` — exactly the failure semantics of the
+    in-process path (:class:`~repro.exceptions.AnalysisError` becomes a
+    section-skip message; ``None`` text means the fragment's optional
+    dataset is absent). This is the entry point for DAG fragment stages,
+    whose artifacts must contain no wall-clock state so an unchanged
+    input hashes to an unchanged output.
+    """
+    build = _FRAGMENTS[key]
+    try:
+        return build(dasu, fcc, survey), None
+    except AnalysisError as exc:
+        return None, str(exc)
+
+
+def assemble_report(
+    fragments: dict[str, tuple[str | None, str | None]],
+    *,
+    n_dasu: int,
+    n_fcc: int = 0,
+    n_plans: int | None = None,
+) -> str:
+    """Assemble the full report text from pre-rendered fragments.
+
+    ``fragments`` maps every fragment key to its ``(text, error)`` pair
+    (:func:`render_fragment`'s return). The output is byte-identical to
+    :func:`full_report` over the same datasets — same header, same
+    dividers, same section-skip semantics — which is what lets the
+    fragment-level DAG serve a report indistinguishable from a cold
+    in-process render.
+    """
+    if n_dasu == 0:
+        raise AnalysisError("a report needs at least the Dasu dataset")
+    outputs = {
+        key: _FragmentOutput(key=key, text=text, error=error, timing=None)
+        for key, (text, error) in fragments.items()
+    }
+    missing = set(_FRAGMENTS) - set(outputs)
+    if missing:
+        raise AnalysisError(
+            f"missing fragments: {', '.join(sorted(missing))}"
+        )
+    header = (
+        "Reproduction report — Bischof, Bustamante & Stanojevic, "
+        "IMC 2014\n"
+        f"datasets: {n_dasu} Dasu users"
+        + (f", {n_fcc} FCC users" if n_fcc else "")
+        + (f", {n_plans} plans" if n_plans is not None else "")
+    )
+    divider = "=" * 72
+    blocks = [header]
+    for section_header, section_keys in _SECTIONS:
+        blocks.append(divider)
+        blocks.append(
+            _assemble_section(
+                section_header, [outputs[k] for k in section_keys]
+            )
+        )
+    return "\n".join(blocks)
 
 
 def section_reports(

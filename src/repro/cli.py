@@ -1,10 +1,13 @@
 """Command-line interface.
 
-Five subcommands cover the study lifecycle::
+The subcommands cover the study lifecycle::
 
     python -m repro build   --out DIR [--seed N --users N --fcc N --days D]
                             [--faults PROFILE --sanitize]
                             [--jobs N --no-cache --cache-dir DIR]
+    python -m repro append  [--seed N --users N ...] --add-users N --add-fcc N
+    python -m repro serve   [--seed N --users N ...] [--port P --spool DIR]
+                            [--grid FILE --state-dir DIR]
     python -m repro analyze --data DIR --experiment NAME
     python -m repro report  [--data DIR | --seed N --users N ...] [--out FILE]
     python -m repro sweep   [--grid FILE] [--seeds N] [--experiments LIST]
@@ -53,6 +56,14 @@ to an uninterrupted run, for either ``--backend`` and any ``--jobs``.
 ``report`` and ``sweep`` themselves run on the same scheduler
 (in-memory, no stage store), so all three commands share one
 execution path.
+
+``append`` folds new households into a cached world without a full
+rebuild (see :mod:`repro.datasets.append`): only the added household
+index ranges are simulated, and the extended entry is byte-identical
+to a cold build of the larger configuration. ``serve`` keeps the
+append chain resident and serves the paper report over HTTP,
+re-rendering only the report fragments whose input data changed (see
+:mod:`repro.service`).
 
 ``sweep`` evaluates the paper's verdicts across a whole grid of worlds
 (see :mod:`repro.sweep`): a declarative scenario grid (``--grid
@@ -558,6 +569,81 @@ def _dag_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _append(args: argparse.Namespace) -> int:
+    from .datasets import AppendDelta, DeltaLog, append_world
+
+    jobs = resolve_jobs(args.jobs)
+    base = _world_config(args)
+    cache = WorldCache(args.cache_dir)
+    log = DeltaLog(base, cache=cache)
+    parent = log.tip_config()
+    delta = AppendDelta(
+        n_dasu_users=args.add_users, n_fcc_users=args.add_fcc
+    )
+    result = append_world(
+        parent,
+        delta,
+        jobs=jobs,
+        cache=cache,
+        use_cache=not args.no_cache,
+        log=log,
+    )
+    how = (
+        "already cached" if result.from_cache
+        else "full rebuild (allocation shrank a country)" if result.rebuilt
+        else "incremental append"
+    )
+    print(
+        f"appended {delta.n_dasu_users} Dasu + {delta.n_fcc_users} FCC "
+        f"users onto {cache_key(parent)[:12]} -> "
+        f"{cache_key(result.config)[:12]} ({how})"
+    )
+    print(
+        f"chain tip: {result.config.n_dasu_users} Dasu users, "
+        f"{result.config.n_fcc_users} FCC users"
+    )
+    return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from .service import ReportServer, ReportService
+    from .sweep import ScenarioGrid
+
+    jobs = resolve_jobs(args.jobs)
+    base = _world_config(args)
+    cache = WorldCache(args.cache_dir)
+    grid = ScenarioGrid.from_json(args.grid) if args.grid else None
+    state_dir = (
+        Path(args.state_dir)
+        if args.state_dir is not None
+        else cache.root / "serve-state"
+    )
+    service = ReportService(
+        base,
+        state_dir=state_dir,
+        cache=cache,
+        jobs=jobs,
+        use_cache=not args.no_cache,
+        grid=grid,
+    )
+    server = ReportServer(
+        service,
+        host=args.host,
+        port=args.port,
+        spool_dir=args.spool,
+        interval_s=args.interval,
+    )
+    server.start()
+    print(f"serving {cache_key(base)[:12]} chain on {server.url}", flush=True)
+    if args.spool:
+        print(f"watching spool directory {args.spool}", flush=True)
+    if args.once:
+        server.stop()
+        return 0
+    server.run()
+    return 0
+
+
 def _export(args: argparse.Namespace) -> int:
     from .analysis.export import export_figure_data
 
@@ -720,6 +806,64 @@ def build_parser() -> argparse.ArgumentParser:
                            help="dataset directory for specs with a "
                                 "'load-data' stage")
     p_dag_run.set_defaults(func=_dag_run)
+
+    p_append = sub.add_parser(
+        "append",
+        help="fold new households into a cached world (no full rebuild)",
+        description=(
+            "Incremental ingest: extend the cached world rooted at the "
+            "base configuration (--seed/--users/...) by --add-users / "
+            "--add-fcc households. Only the new household index ranges "
+            "are simulated; the extended world is published as a normal "
+            "cache entry byte-identical to a cold build of the larger "
+            "configuration, and the append is recorded in a delta log "
+            "so 'repro serve' replays the chain after a restart. "
+            "Repeated appends stack: each extends the current chain tip."
+        ),
+    )
+    add_world_args(p_append)
+    add_cache_args(p_append)
+    p_append.add_argument("--add-users", type=int, default=0,
+                          help="additional Dasu users to fold in")
+    p_append.add_argument("--add-fcc", type=int, default=0,
+                          help="additional FCC gateways to fold in")
+    p_append.set_defaults(func=_append)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="warm report daemon over HTTP (see repro.service)",
+        description=(
+            "Keep the world chain rooted at the base configuration "
+            "resident and serve its paper report over HTTP. Drop "
+            "append-delta JSON files (or <name>.grid.json scenario "
+            "grids) into --spool to ingest new periods; only report "
+            "fragments whose input content digests changed re-execute. "
+            "Endpoints: /report.txt /manifest.json /trace.jsonl "
+            "/status.json /sweep.json /sweep-report.txt /healthz; "
+            "content endpoints carry an ETag (the manifest hash) and "
+            "honor If-None-Match."
+        ),
+    )
+    add_world_args(p_serve)
+    add_cache_args(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8423,
+                         help="listen port (0 binds an ephemeral port)")
+    p_serve.add_argument("--spool", default=None,
+                         help="directory watched for append-delta and "
+                              "grid JSON files")
+    p_serve.add_argument("--state-dir", default=None,
+                         help="fragment stage store directory (default: "
+                              "<cache>/serve-state)")
+    p_serve.add_argument("--grid", default=None,
+                         help="scenario grid JSON; enables /sweep.json "
+                              "and /sweep-report.txt")
+    p_serve.add_argument("--interval", type=float, default=1.0,
+                         help="spool poll interval in seconds")
+    p_serve.add_argument("--once", action="store_true",
+                         help="warm the snapshot, then exit immediately "
+                              "(smoke-test mode)")
+    p_serve.set_defaults(func=_serve)
 
     p_export = sub.add_parser(
         "export", help="write every figure's data series to CSV"

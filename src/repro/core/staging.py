@@ -1,0 +1,113 @@
+"""Shared staging-directory discipline for atomic on-disk stores.
+
+Both persistence layers — the world cache
+(:class:`repro.datasets.cache.WorldCache`) and the DAG artifact store
+(:class:`repro.dag.store.DagStore`) — publish entries the same way:
+every file is written into a hidden ``.staging-*`` directory and made
+visible by a single ``os.replace``. A process killed mid-store leaves
+only an orphaned staging directory, which must eventually be reclaimed
+without ever disturbing a *live* concurrent store.
+
+The abandoned check here is deliberately paranoid about wall clocks.
+Comparing ``time.time()`` against a single directory mtime is wrong
+twice over: a forward clock step (NTP catch-up) makes an in-flight
+store's staging directory look hours old the instant the step lands,
+and writing *into* an already-created file never advances the directory
+mtime at all, so a long single-file write looks idle. Instead:
+
+* the storer touches a **heartbeat file** inside the staging directory
+  before and between every artifact write (:func:`touch_heartbeat`), so
+  liveness is stamped with the *current* clock throughout the store;
+* the sweeper ages a candidate by the **newest** mtime across the
+  directory and everything in it (heartbeat included), and treats
+  non-positive ages — mtimes in the future, i.e. a clock stepped
+  backwards — as fresh, never as abandoned.
+
+A clock step can therefore delay a sweep (harmless; the next store
+retries) but can no longer reap a staging directory another process is
+actively writing.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+from pathlib import Path
+
+__all__ = [
+    "HEARTBEAT_NAME",
+    "clear_heartbeat",
+    "sweep_stale_staging",
+    "touch_heartbeat",
+]
+
+#: Liveness marker inside a staging directory; removed before publish so
+#: it never appears inside a visible entry.
+HEARTBEAT_NAME = ".heartbeat"
+
+
+def touch_heartbeat(staging: str | Path) -> None:
+    """Stamp ``staging`` as live *now* (create or update the marker).
+
+    Call between artifact writes: each touch re-dates the staging
+    directory with the current clock, so a forward clock step mid-store
+    stops making the directory look abandoned as soon as the next
+    artifact lands.
+    """
+    try:
+        (Path(staging) / HEARTBEAT_NAME).touch()
+    except OSError:
+        pass  # liveness marking is best-effort; the store itself decides
+
+
+def clear_heartbeat(staging: str | Path) -> None:
+    """Drop the liveness marker just before the staging dir publishes."""
+    try:
+        (Path(staging) / HEARTBEAT_NAME).unlink()
+    except OSError:
+        pass
+
+
+def _newest_mtime(path: Path) -> float:
+    """The most recent mtime across ``path`` and its direct entries.
+
+    Scanning the entries matters: writing into an existing file updates
+    the file's mtime but not the directory's, and the heartbeat file is
+    itself just another entry here.
+    """
+    newest = path.stat().st_mtime
+    for child in path.iterdir():
+        try:
+            newest = max(newest, child.stat().st_mtime)
+        except OSError:
+            continue
+    return newest
+
+
+def sweep_stale_staging(
+    root: str | Path, *, prefix: str, max_age_s: float
+) -> None:
+    """Reclaim abandoned ``<prefix>*`` staging directories under ``root``.
+
+    A candidate is abandoned only when the newest mtime anywhere inside
+    it is *strictly more* than ``max_age_s`` in the past. Negative ages
+    (timestamps in the future — the wall clock stepped backwards since
+    the store wrote them) read as fresh: the sweep tolerates them and
+    leaves the directory for a later pass rather than racing a possibly
+    live writer. Every failure mode is a skip, never an error.
+    """
+    root = Path(root)
+    try:
+        candidates = list(root.iterdir())
+    except OSError:
+        return
+    now = time.time()
+    for path in candidates:
+        if not path.name.startswith(prefix):
+            continue
+        try:
+            age = now - _newest_mtime(path)
+        except OSError:
+            continue
+        if age > max_age_s:
+            shutil.rmtree(path, ignore_errors=True)

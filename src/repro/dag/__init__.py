@@ -32,7 +32,9 @@ from .pipelines import (
     CellOutcome,
     DatasetTriple,
     FileBundle,
+    WorldSlice,
     expand_pipeline,
+    fragment_report_spec,
     report_spec,
     sweep_spec,
 )
@@ -55,7 +57,9 @@ __all__ = [
     "StageKind",
     "StageSpec",
     "StoredStage",
+    "WorldSlice",
     "expand_pipeline",
+    "fragment_report_spec",
     "get_backend",
     "hash_artifact",
     "register_stage_kind",

@@ -38,12 +38,15 @@ unchanged on the process-pool backend.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+import numpy as np
+
 from ..datasets.cache import WorldCache, build_or_load_world, cache_key
-from ..datasets.io import config_from_payload, config_payload
+from ..datasets.io import config_from_payload, config_payload, survey_csv_text
 from ..datasets.world import World, WorldConfig
 from ..exceptions import DagError
 from ..faults import fault_profile
@@ -53,7 +56,9 @@ from .spec import DagSpec, StageSpec, register_stage_kind
 __all__ = [
     "DatasetTriple",
     "FileBundle",
+    "WorldSlice",
     "expand_pipeline",
+    "fragment_report_spec",
     "report_spec",
     "sweep_spec",
 ]
@@ -81,6 +86,24 @@ class DatasetTriple:
     dasu: tuple
     fcc: tuple
     survey: Any
+
+
+@dataclass(frozen=True)
+class WorldSlice:
+    """One named view of a world (``dasu``, ``fcc``, or ``survey``) plus
+    its content digest.
+
+    The digest — SHA-256 over the slice's canonical byte rendering, not
+    over a pickle — is the slice stage's output fingerprint, so a
+    downstream fragment's stage key changes exactly when the *data it
+    reads* changes. Appending households re-hashes the dasu slice but
+    leaves the survey digest untouched, which is what confines the
+    recompute to the fragments whose inputs actually moved.
+    """
+
+    name: str
+    data: Any
+    digest: str
 
 
 @dataclass(frozen=True)
@@ -214,6 +237,101 @@ def _sweep_report_kind(config: dict, inputs: dict, ctx) -> FileBundle:
     )
 
 
+def _world_slice_kind(config: dict, inputs: dict, ctx) -> WorldSlice:
+    name = str(config["slice"])
+    (data,) = inputs.values()
+    if isinstance(data, World):
+        dasu, fcc, survey = data.dasu, data.fcc, data.survey
+        if name == "dasu":
+            return WorldSlice(
+                name=name,
+                data=dasu.users,
+                digest=hashlib.sha256(
+                    np.ascontiguousarray(dasu.columns.rows).tobytes()
+                ).hexdigest(),
+            )
+        if name == "fcc":
+            return WorldSlice(
+                name=name,
+                data=fcc.users,
+                digest=hashlib.sha256(
+                    np.ascontiguousarray(fcc.columns.rows).tobytes()
+                ).hexdigest(),
+            )
+        if name == "survey":
+            return WorldSlice(
+                name=name,
+                data=survey,
+                digest=hashlib.sha256(
+                    survey_csv_text(survey).encode("utf-8")
+                ).hexdigest(),
+            )
+        raise DagError(f"unknown world slice {name!r}")
+    raise DagError(
+        f"the world-slice kind needs a world input, got "
+        f"{type(data).__name__}"
+    )
+
+
+def _world_slice_fingerprint(slice_: WorldSlice) -> str:
+    return slice_.digest
+
+
+def _report_fragment_kind(config: dict, inputs: dict, ctx) -> dict:
+    from ..analysis.paper_report import render_fragment
+
+    key = str(config["fragment"])
+    slices: dict[str, Any] = {}
+    for value in inputs.values():
+        if not isinstance(value, WorldSlice):
+            raise DagError(
+                f"the report-fragment kind takes world-slice inputs, got "
+                f"{type(value).__name__}"
+            )
+        slices[value.name] = value.data
+    text, error = render_fragment(
+        key,
+        dasu=slices.get("dasu", ()),
+        fcc=slices.get("fcc"),
+        survey=slices.get("survey"),
+    )
+    # Text and error only — no timings, no wall-clock state — so an
+    # unchanged fragment pickles to unchanged bytes and downstream
+    # assembly keys stay stable across runs.
+    return {"text": text, "error": error}
+
+
+def _report_assemble_kind(config: dict, inputs: dict, ctx) -> FileBundle:
+    from ..analysis.paper_report import assemble_report
+
+    fragments: dict[str, tuple] = {}
+    slices: dict[str, WorldSlice] = {}
+    for dep_name, value in inputs.items():
+        if isinstance(value, WorldSlice):
+            slices[value.name] = value
+        elif isinstance(value, dict) and dep_name.startswith("fragment/"):
+            fragments[dep_name.split("/", 1)[1]] = (
+                value.get("text"), value.get("error"),
+            )
+        else:
+            raise DagError(
+                f"unexpected report-assemble input {dep_name!r}"
+            )
+    for required in ("dasu", "fcc", "survey"):
+        if required not in slices:
+            raise DagError(
+                f"the report-assemble kind needs the {required!r} slice"
+            )
+    survey = slices["survey"].data
+    text = assemble_report(
+        fragments,
+        n_dasu=len(slices["dasu"].data),
+        n_fcc=len(slices["fcc"].data),
+        n_plans=None if survey is None else survey.n_plans,
+    )
+    return FileBundle(files={"report.txt": text + "\n"})
+
+
 register_stage_kind("build", _build_kind, fingerprint=_build_fingerprint)
 register_stage_kind("load-data", _load_data_kind, cacheable=False)
 register_stage_kind("report", _report_kind)
@@ -221,6 +339,27 @@ register_stage_kind(
     "sweep-cell", _sweep_cell_kind, fingerprint=_sweep_cell_fingerprint
 )
 register_stage_kind("sweep-report", _sweep_report_kind)
+#: The fragment pipeline's world stage: same callable as ``build``, but
+#: not cacheable — a resident service re-slices its warm world every
+#: refresh (loading from the world cache is an mmap, not a rebuild), and
+#: a pickled World in the DAG store would duplicate the whole dataset.
+register_stage_kind(
+    "world-source",
+    _build_kind,
+    fingerprint=_build_fingerprint,
+    cacheable=False,
+)
+#: Slices re-run with the world (cheap views), but their *output hash*
+#: is the content digest, so fragment stage keys — and therefore the
+#: store hits that skip recompute — follow the data, not the schedule.
+register_stage_kind(
+    "world-slice",
+    _world_slice_kind,
+    fingerprint=_world_slice_fingerprint,
+    cacheable=False,
+)
+register_stage_kind("report-fragment", _report_fragment_kind)
+register_stage_kind("report-assemble", _report_assemble_kind)
 
 
 # ---------------------------------------------------------------------------
@@ -284,6 +423,69 @@ def report_spec(
             StageSpec(name="paper-report", kind="report", depends_on=("world",)),
         ),
     )
+
+
+def fragment_report_spec(
+    config: WorldConfig | Mapping,
+    *,
+    name: str = "fragment-report",
+) -> DagSpec:
+    """The paper report as a fragment-level DAG.
+
+    ``world-source`` (build or cache-load) fans into three ``world-slice``
+    stages (dasu, fcc, survey), each fragment depends on exactly the
+    slices it reads (:data:`repro.analysis.paper_report.FRAGMENT_INPUTS`),
+    and ``report-assemble`` folds every fragment into a ``report.txt``
+    byte-identical to :func:`repro.analysis.paper_report.full_report`.
+
+    Run against a persistent :class:`~repro.dag.store.DagStore`, only
+    fragments whose input content digests changed re-execute — appending
+    households recomputes the Dasu-driven fragments while survey-only
+    ones reload. This is the report service's refresh pipeline.
+    """
+    from ..analysis.paper_report import fragment_inputs, fragment_keys
+
+    stages: list[StageSpec] = [
+        StageSpec(
+            name="world",
+            kind="world-source",
+            config={"world": _world_payload(config, "report world config")},
+        )
+    ]
+    for slice_name in ("dasu", "fcc", "survey"):
+        stages.append(
+            StageSpec(
+                name=f"slice/{slice_name}",
+                kind="world-slice",
+                config={"slice": slice_name},
+                depends_on=("world",),
+            )
+        )
+    fragment_stage_names: list[str] = []
+    for key in fragment_keys():
+        stage_name = f"fragment/{key}"
+        fragment_stage_names.append(stage_name)
+        stages.append(
+            StageSpec(
+                name=stage_name,
+                kind="report-fragment",
+                config={"fragment": key},
+                depends_on=tuple(
+                    f"slice/{s}" for s in fragment_inputs(key)
+                ),
+            )
+        )
+    stages.append(
+        StageSpec(
+            name="paper-report",
+            kind="report-assemble",
+            depends_on=(
+                "slice/dasu", "slice/fcc", "slice/survey",
+                *fragment_stage_names,
+            ),
+        )
+    )
+    return DagSpec(name=name, stages=tuple(stages))
 
 
 def sweep_spec(
@@ -367,6 +569,14 @@ def expand_pipeline(payload: Mapping) -> DagSpec:
                 f"{', '.join(sorted(unknown))}"
             )
         return report_spec(config.get("world", {}), name=name)
+    if pipeline == "fragment-report":
+        unknown = set(config) - {"world"}
+        if unknown:
+            raise DagError(
+                "fragment-report pipeline config has unknown keys: "
+                f"{', '.join(sorted(unknown))}"
+            )
+        return fragment_report_spec(config.get("world", {}), name=name)
     if pipeline == "sweep":
         from ..sweep.grid import ScenarioGrid
         from ..sweep.runners import SWEEP_EXPERIMENTS
@@ -391,5 +601,6 @@ def expand_pipeline(payload: Mapping) -> DagSpec:
         experiments = tuple(config.get("experiments", SWEEP_EXPERIMENTS))
         return sweep_spec(base, grid, seeds, experiments, name=name)
     raise DagError(
-        f"unknown pipeline {pipeline!r} (expected 'report' or 'sweep')"
+        f"unknown pipeline {pipeline!r} (expected 'report', "
+        "'fragment-report', or 'sweep')"
     )

@@ -32,6 +32,11 @@ from pathlib import Path
 from typing import Any
 from urllib.parse import quote
 
+from ..core.staging import (
+    clear_heartbeat,
+    sweep_stale_staging,
+    touch_heartbeat,
+)
 from ..obs.ledger import RunLedger
 
 __all__ = ["DagStore", "StoredStage", "hash_artifact"]
@@ -42,7 +47,11 @@ DAG_STORE_FORMAT = 1
 _META_FILE = "meta.json"
 _ARTIFACT_FILE = "artifact.pkl"
 _LEDGER_FILE = "ledger.jsonl"
+#: Same staging discipline as the world cache: hidden names that cannot
+#: collide with a percent-encoded stage directory, swept once clearly
+#: abandoned (see :mod:`repro.core.staging` for the clock-safe check).
 _STAGING_PREFIX = ".staging-"
+_STAGING_MAX_AGE_S = 3600.0
 
 
 def hash_artifact(artifact: Any) -> tuple[bytes, str]:
@@ -142,9 +151,14 @@ class DagStore:
         if output_hash is None:
             output_hash = blob_sha256
         self.root.mkdir(parents=True, exist_ok=True)
+        sweep_stale_staging(
+            self.root, prefix=_STAGING_PREFIX, max_age_s=_STAGING_MAX_AGE_S
+        )
         staging = Path(tempfile.mkdtemp(prefix=_STAGING_PREFIX, dir=self.root))
         try:
+            touch_heartbeat(staging)
             (staging / _ARTIFACT_FILE).write_bytes(artifact_blob)
+            touch_heartbeat(staging)
             if ledger is not None and not ledger.is_empty:
                 (staging / _LEDGER_FILE).write_text(ledger.to_jsonl())
             (staging / _META_FILE).write_text(
@@ -160,6 +174,7 @@ class DagStore:
                     sort_keys=True,
                 )
             )
+            clear_heartbeat(staging)
             entry = self.stage_dir(stage_name)
             try:
                 os.replace(staging, entry)

@@ -13,9 +13,12 @@
 * :mod:`repro.datasets.sanitize` — the hardened ingest/cleaning stage
   (the paper's data-cleaning rules, with per-rule accounting);
 * :mod:`repro.datasets.cache` — on-disk build cache keyed by
-  configuration and code version.
+  configuration and code version;
+* :mod:`repro.datasets.append` — incremental ingest: fold new
+  households into a cached world without a full rebuild.
 """
 
+from .append import AppendDelta, AppendResult, DeltaLog, append_world
 from .builder import build_world
 from .cache import WorldCache, build_or_load_world, cache_key
 from .columns import (
@@ -38,6 +41,9 @@ from .world import DasuDataset, FccDataset, World, WorldConfig
 __all__ = [
     "COLUMNS_FORMAT_VERSION",
     "ROW_DTYPE",
+    "AppendDelta",
+    "AppendResult",
+    "DeltaLog",
     "UserColumns",
     "DasuDataset",
     "FccDataset",
@@ -48,6 +54,7 @@ __all__ = [
     "World",
     "WorldCache",
     "WorldConfig",
+    "append_world",
     "build_or_load_world",
     "build_world",
     "cache_key",

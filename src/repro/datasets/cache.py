@@ -35,12 +35,16 @@ import json
 import os
 import shutil
 import tempfile
-import time
 from pathlib import Path
 
 import numpy as np
 
 from .._version import __version__
+from ..core.staging import (
+    clear_heartbeat,
+    sweep_stale_staging,
+    touch_heartbeat,
+)
 from ..exceptions import ReproError
 from ..market.countries import build_profiles
 from ..market.survey import PlanSurvey
@@ -315,8 +319,10 @@ class WorldCache:
             tempfile.mkdtemp(prefix=_STAGING_PREFIX, dir=self.root)
         )
         try:
+            touch_heartbeat(staging)
             columns = world.all_columns
             n_rows = write_users_csv(columns, staging / "users.csv")
+            touch_heartbeat(staging)
             write_users_npy(columns, staging / _COLUMNS_FILE)
             (staging / _COLUMNS_META).write_text(
                 json.dumps(
@@ -331,6 +337,7 @@ class WorldCache:
                     sort_keys=True,
                 )
             )
+            touch_heartbeat(staging)
             write_survey_csv(world.survey, staging / "survey.csv")
             write_config_json(world.config, staging / "config.json")
             if world.sanitization is not None:
@@ -343,6 +350,7 @@ class WorldCache:
                 )
             if world.ledger is not None:
                 (staging / _TRACE_FILE).write_text(world.ledger.to_jsonl())
+            clear_heartbeat(staging)
             entry = self.entry_dir(world.config)
             try:
                 os.replace(staging, entry)
@@ -372,25 +380,14 @@ class WorldCache:
     def _sweep_stale_staging(self) -> None:
         """Drop abandoned ``.staging-*`` directories (killed stores).
 
-        Only directories untouched for well over any plausible store
-        duration are removed, so an in-flight concurrent store (whose
-        staging directory's mtime advances with every file written) is
-        never disturbed.
+        Delegates to :func:`repro.core.staging.sweep_stale_staging`,
+        which ages a candidate by the newest mtime anywhere inside it
+        (heartbeat file included) and tolerates clock steps in either
+        direction — an in-flight concurrent store is never disturbed.
         """
-        try:
-            candidates = list(self.root.iterdir())
-        except OSError:
-            return
-        now = time.time()
-        for path in candidates:
-            if not path.name.startswith(_STAGING_PREFIX):
-                continue
-            try:
-                abandoned = now - path.stat().st_mtime > _STAGING_MAX_AGE_S
-            except OSError:
-                continue
-            if abandoned:
-                shutil.rmtree(path, ignore_errors=True)
+        sweep_stale_staging(
+            self.root, prefix=_STAGING_PREFIX, max_age_s=_STAGING_MAX_AGE_S
+        )
 
     def invalidate(self, config: WorldConfig) -> bool:
         """Drop the entry for ``config``; returns whether one existed."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import csv
 import dataclasses
+import io
 import json
 import numbers
 from collections.abc import Mapping
@@ -43,6 +44,7 @@ __all__ = [
     "read_survey_csv",
     "read_users_csv",
     "read_users_npy",
+    "survey_csv_text",
     "write_config_json",
     "write_plans_csv",
     "write_survey_csv",
@@ -56,9 +58,21 @@ _PERIOD_FIELDS = PERIOD_FIELDS
 
 
 def _encode_profile(profile: tuple[float, ...] | None) -> str:
-    """Semicolon-joined 24-hour profile; empty when absent."""
+    """Semicolon-joined 24-hour profile; empty when absent.
+
+    The encoding reserves the empty string for ``None``, so only the
+    values :func:`_decode_profile` can give back are accepted: ``None``
+    or exactly 24 entries. Anything else (an empty tuple, a partial
+    profile) would silently decode as a *different* value — reject it
+    here instead of corrupting the round-trip.
+    """
     if profile is None:
         return ""
+    if len(profile) != 24:
+        raise DatasetError(
+            f"hourly profile must have 24 entries or be None, "
+            f"got {len(profile)}"
+        )
     return ";".join(f"{v:.6g}" for v in profile)
 
 
@@ -73,6 +87,21 @@ def _decode_profile(text: str) -> tuple[float, ...] | None:
 
 def _optional(value: str) -> float | None:
     return None if value == "" else float(value)
+
+
+def _field(row: Mapping, name: str, convert):
+    """Convert one CSV field, naming the column on failure.
+
+    A bare ``float`` ValueError says only what the bad token was; by the
+    time it reaches a user (strict raise or lenient errors list) the row
+    context is long gone. Re-raise as :class:`DatasetError` carrying the
+    column name so ``path:line: column 'x': ...`` messages assemble at
+    the row level.
+    """
+    try:
+        return convert(row[name])
+    except (ValueError, TypeError) as exc:
+        raise DatasetError(f"column {name!r}: {exc}") from None
 
 
 def write_users_csv(
@@ -129,10 +158,12 @@ def read_users_csv(
 ) -> list[UserRecord]:
     """Read user records written by :func:`write_users_csv`.
 
-    Strict by default: any malformed row raises. Pass an ``errors`` list
-    to read leniently instead — rows (or whole users) that fail to parse
-    or validate are skipped and one message per casualty is appended to
-    the list. The lenient path is what
+    Strict by default: any malformed row raises a :class:`DatasetError`
+    naming the file, line number, and offending column. Pass an
+    ``errors`` list to read leniently instead — rows (or whole users)
+    that fail to parse or validate are skipped and one message per
+    casualty (same format as the strict raise) is appended to the list.
+    The lenient path is what
     :func:`repro.datasets.sanitize.ingest_users` builds on for datasets
     of unknown hygiene.
     """
@@ -149,29 +180,32 @@ def read_users_csv(
                 period = ServicePeriod(
                     user_id=row["user_id"],
                     network=NetworkId(row["isp"], row["prefix"], row["city"]),
-                    start_day=float(row["start_day"]),
-                    end_day=float(row["end_day"]),
-                    capacity_mbps=float(row["capacity_mbps"]),
-                    mean_mbps=float(row["mean_mbps"]),
-                    peak_mbps=float(row["peak_mbps"]),
-                    mean_no_bt_mbps=float(row["mean_no_bt_mbps"]),
-                    peak_no_bt_mbps=float(row["peak_no_bt_mbps"]),
+                    start_day=_field(row, "start_day", float),
+                    end_day=_field(row, "end_day", float),
+                    capacity_mbps=_field(row, "capacity_mbps", float),
+                    mean_mbps=_field(row, "mean_mbps", float),
+                    peak_mbps=_field(row, "peak_mbps", float),
+                    mean_no_bt_mbps=_field(row, "mean_no_bt_mbps", float),
+                    peak_no_bt_mbps=_field(row, "peak_no_bt_mbps", float),
                 )
                 observation = PeriodObservation(
                     period=period,
-                    latency_ms=float(row["latency_ms"]),
-                    loss_fraction=float(row["loss_fraction"]),
-                    capacity_up_mbps=float(row["capacity_up_mbps"]),
-                    n_ndt_tests=int(row["n_ndt_tests"]),
-                    n_usage_samples=int(row["n_usage_samples"]),
-                    hourly_mean_mbps=_decode_profile(row["hourly_mean_mbps"]),
-                    mean_up_mbps=_optional(row["mean_up_mbps"]),
-                    peak_up_mbps=_optional(row["peak_up_mbps"]),
+                    latency_ms=_field(row, "latency_ms", float),
+                    loss_fraction=_field(row, "loss_fraction", float),
+                    capacity_up_mbps=_field(row, "capacity_up_mbps", float),
+                    n_ndt_tests=_field(row, "n_ndt_tests", int),
+                    n_usage_samples=_field(row, "n_usage_samples", int),
+                    hourly_mean_mbps=_field(
+                        row, "hourly_mean_mbps", _decode_profile
+                    ),
+                    mean_up_mbps=_field(row, "mean_up_mbps", _optional),
+                    peak_up_mbps=_field(row, "peak_up_mbps", _optional),
                 )
             except (ValueError, TypeError, KeyError, DatasetError) as exc:
+                message = f"{path}:{line}: {exc}"
                 if not lenient:
-                    raise
-                errors.append(f"{path}:{line}: {exc}")
+                    raise DatasetError(message) from None
+                errors.append(message)
                 continue
             entry = grouped.setdefault(
                 row["user_id"], {"row": row, "observations": []}
@@ -193,22 +227,29 @@ def read_users_csv(
                     development=row["development"],
                     vantage=row["vantage"],
                     technology=row["technology"],
-                    bt_user=bool(int(row["bt_user"])),
+                    bt_user=bool(_field(row, "bt_user", int)),
                     observations=tuple(observations),
-                    price_of_access_usd=_optional(row["price_of_access_usd"]),
-                    upgrade_cost_usd_per_mbps=_optional(
-                        row["upgrade_cost_usd_per_mbps"]
+                    price_of_access_usd=_field(
+                        row, "price_of_access_usd", _optional
                     ),
-                    gdp_per_capita_usd=float(row["gdp_per_capita_usd"]),
-                    plan_data_cap_gb=_optional(row["plan_data_cap_gb"]),
-                    web_latency_ms=_optional(row["web_latency_ms"]),
-                    ndt_2014_latency_ms=_optional(row["ndt_2014_latency_ms"]),
+                    upgrade_cost_usd_per_mbps=_field(
+                        row, "upgrade_cost_usd_per_mbps", _optional
+                    ),
+                    gdp_per_capita_usd=_field(
+                        row, "gdp_per_capita_usd", float
+                    ),
+                    plan_data_cap_gb=_field(row, "plan_data_cap_gb", _optional),
+                    web_latency_ms=_field(row, "web_latency_ms", _optional),
+                    ndt_2014_latency_ms=_field(
+                        row, "ndt_2014_latency_ms", _optional
+                    ),
                 )
             )
         except (ValueError, TypeError, KeyError, DatasetError) as exc:
+            message = f"{path}: user {row.get('user_id', '?')}: {exc}"
             if not lenient:
-                raise
-            errors.append(f"{path}: user {row.get('user_id', '?')}: {exc}")
+                raise DatasetError(message) from None
+            errors.append(message)
     return sorted(users, key=lambda u: u.user_id)
 
 
@@ -283,6 +324,38 @@ _SURVEY_FIELDS = [
 ]
 
 
+def survey_csv_text(survey: PlanSurvey) -> str:
+    """The survey's canonical CSV rendering as one string.
+
+    Countries iterate in the survey's sorted order, so the text is a
+    deterministic function of the survey's value — a built survey and a
+    cache-loaded one render identically, which makes this the survey's
+    content address for fragment-level recompute keys.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_SURVEY_FIELDS)
+    for country in survey.countries:
+        market = survey.markets[country]
+        economy = market.economy
+        for plan in market.plans:
+            writer.writerow(
+                [
+                    country, economy.region.value,
+                    economy.development.value,
+                    economy.gdp_per_capita_ppp_usd,
+                    economy.internet_penetration,
+                    plan.currency.code, plan.currency.units_per_usd,
+                    plan.currency.ppp_market_ratio, plan.isp,
+                    plan.name, plan.download_mbps, plan.upload_mbps,
+                    plan.monthly_price_local, plan.technology.value,
+                    "" if plan.data_cap_gb is None else plan.data_cap_gb,
+                    int(plan.dedicated),
+                ]
+            )
+    return buffer.getvalue()
+
+
 def write_survey_csv(survey: PlanSurvey, path: str | Path) -> int:
     """Write the full survey (plans plus the economies needed to rebuild
     the markets); returns the number of plan rows.
@@ -291,30 +364,11 @@ def write_survey_csv(survey: PlanSurvey, path: str | Path) -> int:
     round-trips through :func:`read_survey_csv`.
     """
     path = Path(path)
-    n_rows = 0
     with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(_SURVEY_FIELDS)
-        for country in survey.countries:
-            market = survey.markets[country]
-            economy = market.economy
-            for plan in market.plans:
-                writer.writerow(
-                    [
-                        country, economy.region.value,
-                        economy.development.value,
-                        economy.gdp_per_capita_ppp_usd,
-                        economy.internet_penetration,
-                        plan.currency.code, plan.currency.units_per_usd,
-                        plan.currency.ppp_market_ratio, plan.isp,
-                        plan.name, plan.download_mbps, plan.upload_mbps,
-                        plan.monthly_price_local, plan.technology.value,
-                        "" if plan.data_cap_gb is None else plan.data_cap_gb,
-                        int(plan.dedicated),
-                    ]
-                )
-                n_rows += 1
-    return n_rows
+        handle.write(survey_csv_text(survey))
+    return sum(
+        len(survey.markets[country].plans) for country in survey.countries
+    )
 
 
 def read_survey_csv(path: str | Path) -> PlanSurvey:
@@ -332,40 +386,51 @@ def read_survey_csv(path: str | Path) -> PlanSurvey:
             _SURVEY_FIELDS
         ):
             raise DatasetError(f"{path}: unexpected survey columns")
-        for row in reader:
-            entry = grouped.setdefault(
-                row["country"], {"row": row, "plans": []}
-            )
-            currency = Currency(
-                code=row["currency_code"],
-                units_per_usd=float(row["units_per_usd"]),
-                ppp_market_ratio=float(row["ppp_market_ratio"]),
-            )
-            entry["plans"].append(
-                BroadbandPlan(
+        for line, row in enumerate(reader, start=2):
+            try:
+                currency = Currency(
+                    code=row["currency_code"],
+                    units_per_usd=_field(row, "units_per_usd", float),
+                    ppp_market_ratio=_field(row, "ppp_market_ratio", float),
+                )
+                plan = BroadbandPlan(
                     country=row["country"],
                     isp=row["isp"],
                     name=row["name"],
-                    download_mbps=float(row["download_mbps"]),
-                    upload_mbps=float(row["upload_mbps"]),
-                    monthly_price_local=float(row["monthly_price_local"]),
+                    download_mbps=_field(row, "download_mbps", float),
+                    upload_mbps=_field(row, "upload_mbps", float),
+                    monthly_price_local=_field(
+                        row, "monthly_price_local", float
+                    ),
                     currency=currency,
-                    technology=PlanTechnology(row["technology"]),
-                    data_cap_gb=_optional(row["data_cap_gb"]),
-                    dedicated=bool(int(row["dedicated"])),
+                    technology=_field(row, "technology", PlanTechnology),
+                    data_cap_gb=_field(row, "data_cap_gb", _optional),
+                    dedicated=bool(_field(row, "dedicated", int)),
                 )
+            except (ValueError, TypeError, KeyError, DatasetError) as exc:
+                raise DatasetError(f"{path}:{line}: {exc}") from None
+            entry = grouped.setdefault(
+                row["country"], {"row": row, "plans": []}
             )
+            entry["plans"].append(plan)
     markets = {}
     for country, entry in grouped.items():
         row = entry["row"]
-        economy = Economy(
-            country=country,
-            region=Region(row["region"]),
-            development=DevelopmentLevel(row["development"]),
-            gdp_per_capita_ppp_usd=float(row["gdp_per_capita_ppp_usd"]),
-            currency=entry["plans"][0].currency,
-            internet_penetration=float(row["internet_penetration"]),
-        )
+        try:
+            economy = Economy(
+                country=country,
+                region=_field(row, "region", Region),
+                development=_field(row, "development", DevelopmentLevel),
+                gdp_per_capita_ppp_usd=_field(
+                    row, "gdp_per_capita_ppp_usd", float
+                ),
+                currency=entry["plans"][0].currency,
+                internet_penetration=_field(
+                    row, "internet_penetration", float
+                ),
+            )
+        except (ValueError, TypeError, KeyError, DatasetError) as exc:
+            raise DatasetError(f"{path}: country {country}: {exc}") from None
         markets[country] = CountryMarket(
             economy=economy, plans=tuple(entry["plans"])
         )

@@ -1,0 +1,20 @@
+"""The warm report service: incremental ingest served over HTTP.
+
+``repro serve`` keeps one world chain resident and its paper report
+warm. New measurement batches arrive as JSON files in a spool
+directory; each is folded into the cached world through
+:func:`~repro.datasets.append.append_world` (no full rebuild), the
+fragment-level report DAG re-executes only the fragments whose input
+content digests changed, and the refreshed artifacts are served over
+plain HTTP with an ETag that tracks the provenance manifest.
+
+* :mod:`~repro.service.report` — :class:`ReportService`: snapshot
+  state, fragment-DAG refresh, spool ingest;
+* :mod:`~repro.service.server` — :class:`ReportServer`: the stdlib
+  ``ThreadingHTTPServer`` front-end and the polling loop.
+"""
+
+from .report import ReportService, Snapshot
+from .server import ReportServer
+
+__all__ = ["ReportServer", "ReportService", "Snapshot"]

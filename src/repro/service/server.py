@@ -1,0 +1,186 @@
+"""Stdlib HTTP front-end for the warm report service.
+
+A :class:`ReportServer` wraps one :class:`~repro.service.report.ReportService`
+in a :class:`http.server.ThreadingHTTPServer` (no dependencies beyond
+the standard library) plus a spool-polling loop. Request handlers only
+ever read immutable snapshots, so they are safe on the server's handler
+threads while the polling loop appends and refreshes.
+
+Endpoints::
+
+    GET /healthz          liveness ("ok" even before the first refresh)
+    GET /status.json      operational counters, executed/cached stages
+    GET /report.txt       the assembled paper report        (ETag)
+    GET /manifest.json    provenance manifest of the report (ETag)
+    GET /trace.jsonl      run ledger of the last refresh    (ETag)
+    GET /sweep.json       verdict sweep payload, 404 w/o a grid (ETag)
+    GET /sweep-report.txt verdict-stability report, 404 w/o grid (ETag)
+
+The ETag is the SHA-256 of the provenance manifest, shared by every
+content endpoint: it changes exactly when the served configuration
+(base config + append chain + grid) or the code version changes, which
+is exactly when any of those bytes may change. ``If-None-Match`` with
+the current tag short-circuits to ``304 Not Modified``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from .._version import __version__
+from .report import ReportService
+
+__all__ = ["ReportServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = f"repro-serve/{__version__}"
+
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        service: ReportService = self.server.service  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._send(200, "text/plain; charset=utf-8", "ok\n")
+            return
+        if path == "/status.json":
+            body = json.dumps(
+                service.status_payload(), indent=2, sort_keys=True
+            ) + "\n"
+            self._send(200, "application/json", body)
+            return
+        snapshot = service.snapshot()
+        if snapshot is None:
+            self._send(
+                503, "text/plain; charset=utf-8", "warming up: no snapshot yet\n"
+            )
+            return
+        content = {
+            "/report.txt": ("text/plain; charset=utf-8", snapshot.report_text),
+            "/manifest.json": ("application/json", snapshot.manifest_text),
+            "/trace.jsonl": ("application/jsonl", snapshot.trace_text),
+            "/sweep.json": ("application/json", snapshot.sweep_json),
+            "/sweep-report.txt": (
+                "text/plain; charset=utf-8",
+                snapshot.sweep_report,
+            ),
+        }
+        if path not in content:
+            self._send(404, "text/plain; charset=utf-8", "not found\n")
+            return
+        content_type, body = content[path]
+        if body is None:  # sweep endpoints without a configured grid
+            self._send(
+                404, "text/plain; charset=utf-8", "no scenario grid configured\n"
+            )
+            return
+        if self.headers.get("If-None-Match") == snapshot.etag:
+            self.send_response(304)
+            self.send_header("ETag", snapshot.etag)
+            self.end_headers()
+            return
+        self._send(200, content_type, body, etag=snapshot.etag)
+
+    def _send(
+        self, status: int, content_type: str, body: str, *, etag: str | None = None
+    ) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        if etag is not None:
+            self.send_header("ETag", etag)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:
+        # Request logging is operational noise; the service prints its
+        # own ingest/refresh lines. Silence the per-request chatter.
+        pass
+
+
+class ReportServer:
+    """The service daemon: HTTP threads plus a spool-polling loop.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`
+    after :meth:`start`), which is how the tests and the CI job run
+    several daemons side by side.
+    """
+
+    def __init__(
+        self,
+        service: ReportService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spool_dir: str | Path | None = None,
+        interval_s: float = 1.0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self.spool_dir = Path(spool_dir) if spool_dir is not None else None
+        self.interval_s = interval_s
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("server is not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Warm the first snapshot, then serve in a background thread."""
+        if self.spool_dir is not None:
+            self.spool_dir.mkdir(parents=True, exist_ok=True)
+            self.service.process_spool(self.spool_dir)
+        self.service.refresh()
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), _Handler
+        )
+        self._httpd.service = self.service  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    def poll_once(self) -> int:
+        """One spool pass; refreshes the snapshot if anything applied."""
+        if self.spool_dir is None:
+            return 0
+        applied = self.service.process_spool(self.spool_dir)
+        if applied:
+            self.service.refresh()
+        return applied
+
+    def run(self) -> None:
+        """Block polling the spool until :meth:`stop` (or Ctrl-C)."""
+        try:
+            while not self._stop.wait(self.interval_s):
+                try:
+                    self.poll_once()
+                except Exception as exc:  # keep the daemon alive
+                    print(f"serve: refresh failed: {exc}", file=sys.stderr)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -1,0 +1,104 @@
+"""Strict CSV ingest errors name the file, line, and column.
+
+Regression suite for the bare ``ValueError`` that used to escape
+``float(...)`` conversions during strict reads: every malformed cell
+must surface as a :class:`DatasetError` that tells the operator where
+to look, and the lenient path must record the same message instead of
+raising.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.io import (
+    read_survey_csv,
+    read_users_csv,
+    write_survey_csv,
+    write_users_csv,
+)
+from repro.exceptions import DatasetError
+
+
+def _corrupt(path, column, bad, header_line=1, row_line=2) -> None:
+    """Replace ``column``'s value on ``row_line`` with ``bad``."""
+    lines = path.read_text().splitlines(keepends=True)
+    header = lines[header_line - 1].rstrip("\r\n").split(",")
+    index = header.index(column)
+    row = lines[row_line - 1].rstrip("\r\n").split(",")
+    row[index] = bad
+    lines[row_line - 1] = ",".join(row) + "\r\n"
+    path.write_text("".join(lines), newline="")
+
+
+@pytest.fixture()
+def users_csv(tiny_world, tmp_path):
+    path = tmp_path / "users.csv"
+    write_users_csv(tiny_world.all_columns, path)
+    return path
+
+
+@pytest.fixture()
+def survey_csv(tiny_world, tmp_path):
+    path = tmp_path / "survey.csv"
+    write_survey_csv(tiny_world.survey, path)
+    return path
+
+
+@pytest.mark.parametrize(
+    "column", ["capacity_mbps", "latency_ms", "n_usage_samples"]
+)
+def test_users_bad_number_names_location(users_csv, column):
+    _corrupt(users_csv, column, "bogus")
+    with pytest.raises(DatasetError) as excinfo:
+        read_users_csv(users_csv)
+    message = str(excinfo.value)
+    assert str(users_csv) in message
+    assert ":2:" in message
+    assert f"column {column!r}" in message
+    assert "bogus" in message
+
+
+def test_users_bad_profile_names_location(users_csv):
+    _corrupt(users_csv, "hourly_mean_mbps", "1;2;3")
+    with pytest.raises(DatasetError) as excinfo:
+        read_users_csv(users_csv)
+    message = str(excinfo.value)
+    assert ":2:" in message
+    assert "column 'hourly_mean_mbps'" in message
+    assert "24 entries" in message
+
+
+def test_users_lenient_records_same_message(users_csv):
+    _corrupt(users_csv, "capacity_mbps", "bogus")
+    errors: list[str] = []
+    users = read_users_csv(users_csv, errors=errors)
+    assert users  # the other rows still load
+    assert len(errors) == 1
+    assert str(users_csv) in errors[0]
+    assert "column 'capacity_mbps'" in errors[0]
+
+
+@pytest.mark.parametrize(
+    ("column", "bad", "needle"),
+    [
+        ("download_mbps", "fast", "column 'download_mbps'"),
+        ("technology", "carrier-pigeon", "column 'technology'"),
+        ("dedicated", "maybe", "column 'dedicated'"),
+    ],
+)
+def test_survey_bad_cell_names_location(survey_csv, column, bad, needle):
+    _corrupt(survey_csv, column, bad)
+    with pytest.raises(DatasetError) as excinfo:
+        read_survey_csv(survey_csv)
+    message = str(excinfo.value)
+    assert str(survey_csv) in message
+    assert ":2:" in message
+    assert needle in message
+
+
+def test_errors_are_still_value_errors(users_csv):
+    """Callers that catch ValueError (the old contract) keep working."""
+    _corrupt(users_csv, "capacity_mbps", "bogus")
+    with pytest.raises(ValueError):
+        read_users_csv(users_csv)

@@ -1,0 +1,63 @@
+"""Round-trip of the hourly-profile CSV encoding.
+
+Regression suite for the ``_encode_profile``/``_decode_profile``
+asymmetry: the encoding reserves the empty string for ``None``, so an
+empty tuple (or any non-24-length profile) used to encode to ``""`` and
+silently decode back as ``None`` — a different value. The fix rejects
+every profile that cannot round-trip; the property test pins the
+round-trip over everything that can.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.io import _decode_profile, _encode_profile
+from repro.exceptions import DatasetError
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+
+def _snap(value: float) -> float:
+    """The CSV stores profile values at %.6g precision; round-tripping
+    is only claimed for values already on that grid."""
+    return float(f"{value:.6g}")
+
+
+profile_values = st.floats(
+    min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False
+).map(_snap)
+
+profiles = st.one_of(
+    st.none(),
+    st.tuples(*([profile_values] * 24)),
+)
+
+
+@given(profiles)
+def test_roundtrip(profile):
+    assert _decode_profile(_encode_profile(profile)) == profile
+
+
+@given(st.lists(profile_values, min_size=0, max_size=23).map(tuple))
+def test_short_profiles_rejected_not_corrupted(profile):
+    """Anything shorter than 24 hours must raise, never encode."""
+    with pytest.raises(DatasetError):
+        _encode_profile(profile)
+
+
+def test_none_and_empty_are_distinct():
+    assert _encode_profile(None) == ""
+    assert _decode_profile("") is None
+    with pytest.raises(DatasetError, match="24 entries"):
+        _encode_profile(())
+
+
+@pytest.mark.parametrize("length", [1, 23, 25])
+def test_wrong_length_raises(length):
+    with pytest.raises(DatasetError, match="24 entries"):
+        _encode_profile((0.5,) * length)
+    if length != 24:
+        with pytest.raises(DatasetError, match="24 entries"):
+            _decode_profile(";".join(["0.5"] * length))
