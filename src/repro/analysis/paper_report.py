@@ -36,7 +36,7 @@ from ..exceptions import AnalysisError
 from ..market.survey import PlanSurvey
 from ..obs import ledger as obs
 from ..obs.ledger import RunLedger, Span
-from . import capacity, characterization, longitudinal, price, quality, upgrade_cost
+from . import capacity, characterization, iqb, longitudinal, price, quality, upgrade_cost
 from .price import Table4Result
 from .report import format_curve, format_experiment_row
 from .upgrade_cost import Table5Result
@@ -265,6 +265,10 @@ def _fragment_fig12(dasu, fcc, survey) -> str:
     )
 
 
+def _fragment_iqb(dasu, fcc, survey) -> str:
+    return iqb.format_iqb_report(dasu, fcc)
+
+
 #: Every fragment of the report, in declaration (= output) order.
 _FRAGMENTS: dict[str, Callable] = {
     "fig1": _fragment_fig1,
@@ -285,6 +289,7 @@ _FRAGMENTS: dict[str, Callable] = {
     "fig11": _fragment_fig11,
     "table8": _fragment_table8,
     "fig12": _fragment_fig12,
+    "iqb": _fragment_iqb,
 }
 
 #: The world slices each fragment actually reads. Everything not listed
@@ -298,6 +303,7 @@ FRAGMENT_INPUTS: dict[str, tuple[str, ...]] = {
     "table4": ("dasu", "survey"),
     "fig10": ("survey",),
     "table5": ("survey",),
+    "iqb": ("dasu", "fcc"),
 }
 
 
@@ -323,6 +329,7 @@ _SECTIONS: tuple[tuple[str | None, tuple[str, ...]], ...] = (
         ("fig10", "table5", "table6_bt", "table6_nobt"),
     ),
     ("Section 7 — connection quality", ("table7", "fig11", "table8", "fig12")),
+    ("Extension — internet quality barometer", ("iqb",)),
 )
 
 

@@ -12,6 +12,8 @@ The subcommands cover the study lifecycle::
     python -m repro report  [--data DIR | --seed N --users N ...] [--out FILE]
     python -m repro sweep   [--grid FILE] [--seeds N] [--experiments LIST]
                             [--out DIR] [--jobs N] [--trace]
+    python -m repro iqb     [--data DIR | --seed N ...] [--config NAME|FILE]
+                            [--out DIR] [--jobs N] [--trace]
     python -m repro export  --data DIR --out DIR
 
 ``build`` generates a world and persists it (users.csv, survey.csv,
@@ -644,6 +646,74 @@ def _serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _iqb(args: argparse.Namespace) -> int:
+    from .analysis.iqb import (
+        IQB_PRESETS,
+        IqbConfig,
+        format_iqb_report,
+        iqb_payload,
+        resolve_iqb_config,
+    )
+    from .datasets.cache import build_or_load_world
+    from .obs import ledger as obs
+
+    jobs = resolve_jobs(args.jobs)
+    if args.config is None or args.config in IQB_PRESETS:
+        iqb_config = resolve_iqb_config(args.config)
+    else:
+        # Not a preset name: a path to an iqb.json config file.
+        iqb_config = IqbConfig.from_json(args.config)
+    ledger = RunLedger()
+    config = None
+    with obs.scoped(ledger):
+        if args.data is not None:
+            dasu, fcc, _ = _load(Path(args.data))
+        else:
+            config = _world_config(args)
+            world, from_cache = build_or_load_world(
+                config,
+                jobs=jobs,
+                cache=WorldCache(args.cache_dir),
+                use_cache=not args.no_cache,
+                ground_truth=False,
+            )
+            if from_cache:
+                print(
+                    f"cache hit ({cache_key(config)[:12]}): "
+                    "skipping build",
+                    file=sys.stderr,
+                )
+            if world.ledger is not None:
+                ledger.merge(world.ledger)
+            dasu, fcc = world.dasu.users, world.fcc.users
+        text = format_iqb_report(dasu, fcc, iqb_config)
+        payload = iqb_payload(dasu, fcc, iqb_config)
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "iqb.txt").write_text(text + "\n")
+        (out / "iqb.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"barometer written to {out}")
+    else:
+        print(text)
+    if args.trace:
+        if not args.out:
+            raise ReproError("iqb --trace needs --out to hold the artifacts")
+        _write_trace(
+            ledger,
+            run_manifest(
+                config,
+                command="iqb",
+                data_dir=None if args.data is None else str(args.data),
+                extras={"iqb_config": iqb_config.to_payload()},
+            ),
+            Path(args.out),
+        )
+    return 0
+
+
 def _export(args: argparse.Namespace) -> int:
     from .analysis.export import export_figure_data
 
@@ -754,6 +824,37 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_args(p_sweep)
     p_sweep.set_defaults(func=_sweep)
 
+    p_iqb = sub.add_parser(
+        "iqb",
+        help="internet quality barometer: use-case scores and markets",
+        description=(
+            "Grade every household's measured connection against a "
+            "declarative use-case config (--config: a preset name or "
+            "an iqb.json file), aggregate per-market barometer scores "
+            "with Wilson intervals, and run the IQB-vs-demand matched "
+            "experiment. Prints the barometer report; --out also "
+            "writes iqb.txt and iqb.json, byte-identical for any "
+            "--jobs value and for warm vs cold caches."
+        ),
+    )
+    p_iqb.add_argument("--config", default=None,
+                       help="IQB config: a preset name (default, "
+                            "streaming) or a path to an iqb.json file "
+                            "(default: the built-in default config)")
+    p_iqb.add_argument("--data",
+                       help="directory written by 'build'; omit to "
+                            "build/load a world from the cache instead")
+    p_iqb.add_argument("--out",
+                       help="directory for iqb.txt and iqb.json "
+                            "(omit to print the report only)")
+    p_iqb.add_argument("--trace", action="store_true",
+                       help="write the run ledger (trace.jsonl) and "
+                            "provenance manifest (manifest.json) into "
+                            "--out; byte-identical for any --jobs value")
+    add_world_args(p_iqb)
+    add_cache_args(p_iqb)
+    p_iqb.set_defaults(func=_iqb)
+
     p_dag = sub.add_parser(
         "dag",
         help="declarative, resumable experiment DAGs (see repro.dag)",
@@ -839,7 +940,8 @@ def build_parser() -> argparse.ArgumentParser:
             "grids) into --spool to ingest new periods; only report "
             "fragments whose input content digests changed re-execute. "
             "Endpoints: /report.txt /manifest.json /trace.jsonl "
-            "/status.json /sweep.json /sweep-report.txt /healthz; "
+            "/status.json /iqb.json /sweep.json /sweep-report.txt "
+            "/healthz; "
             "content endpoints carry an ETag (the manifest hash) and "
             "honor If-None-Match."
         ),

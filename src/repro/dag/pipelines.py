@@ -200,6 +200,7 @@ def _sweep_cell_kind(config: dict, inputs: dict, ctx) -> CellOutcome:
         experiments=tuple(config["experiments"]),
         cache_root=ctx.cache_root,
         use_cache=ctx.use_cache,
+        iqb_config=config.get("iqb_config"),
     )
     result, from_cache = _run_cell(task)
     return CellOutcome(result=result, from_cache=from_cache)
@@ -519,16 +520,21 @@ def sweep_spec(
     for scenario, seed, cell_config in grid.configs(base, seeds):
         stage_name = f"cell/{scenario.name}/seed={seed}"
         cell_names.append(stage_name)
+        stage_config = {
+            "scenario": scenario.name,
+            "seed": seed,
+            "world": config_payload(cell_config),
+            "experiments": list(experiments),
+        }
+        # Only present when set, so grids without an iqb_config axis
+        # keep their pre-existing stage keys (and store hits).
+        if scenario.iqb_config is not None:
+            stage_config["iqb_config"] = scenario.iqb_config
         stages.append(
             StageSpec(
                 name=stage_name,
                 kind="sweep-cell",
-                config={
-                    "scenario": scenario.name,
-                    "seed": seed,
-                    "world": config_payload(cell_config),
-                    "experiments": list(experiments),
-                },
+                config=stage_config,
             )
         )
     if with_report:

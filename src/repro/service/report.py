@@ -63,6 +63,9 @@ class Snapshot:
     report_text: str
     manifest_text: str
     trace_text: str
+    #: The internet quality barometer payload for ``/iqb.json``,
+    #: recomputed from the tip world every refresh.
+    iqb_json: str
     #: ``None`` until a scenario grid is configured.
     sweep_json: str | None
     sweep_report: str | None
@@ -164,6 +167,17 @@ class ReportService:
             ),
         )
         report_text = result.artifact("paper-report").files["report.txt"]
+        from ..analysis.iqb import iqb_payload
+
+        world = result.artifact("world")
+        iqb_json = (
+            json.dumps(
+                iqb_payload(world.dasu.users, world.fcc.users),
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
         sweep_json, sweep_report = self._refresh_sweep(config)
         manifest = run_manifest(
             config,
@@ -184,6 +198,7 @@ class ReportService:
             report_text=report_text,
             manifest_text=manifest_text,
             trace_text=ledger.to_jsonl(),
+            iqb_json=iqb_json,
             sweep_json=sweep_json,
             sweep_report=sweep_report,
             executed=tuple(result.executed),

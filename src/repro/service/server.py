@@ -13,6 +13,7 @@ Endpoints::
     GET /report.txt       the assembled paper report        (ETag)
     GET /manifest.json    provenance manifest of the report (ETag)
     GET /trace.jsonl      run ledger of the last refresh    (ETag)
+    GET /iqb.json         internet quality barometer payload (ETag)
     GET /sweep.json       verdict sweep payload, 404 w/o a grid (ETag)
     GET /sweep-report.txt verdict-stability report, 404 w/o grid (ETag)
 
@@ -62,6 +63,7 @@ class _Handler(BaseHTTPRequestHandler):
             "/report.txt": ("text/plain; charset=utf-8", snapshot.report_text),
             "/manifest.json": ("application/json", snapshot.manifest_text),
             "/trace.jsonl": ("application/jsonl", snapshot.trace_text),
+            "/iqb.json": ("application/json", snapshot.iqb_json),
             "/sweep.json": ("application/json", snapshot.sweep_json),
             "/sweep-report.txt": (
                 "text/plain; charset=utf-8",

@@ -120,6 +120,8 @@ class _CellTask:
     experiments: tuple[str, ...]
     cache_root: str | None
     use_cache: bool
+    #: The scenario's IQB configuration (preset name, payload, or None).
+    iqb_config: object = None
 
 
 def _cell_world(
@@ -140,7 +142,9 @@ def _cell_world(
     return world, from_cache
 
 
-def _headline(world: World) -> tuple[tuple[str, float], ...]:
+def _headline(
+    world: World, iqb_config: object = None
+) -> tuple[tuple[str, float], ...]:
     """Fixed-order summary statistics of a cell's Dasu panel.
 
     The reductions are applied to sorted values: a cache-loaded world
@@ -148,16 +152,24 @@ def _headline(world: World) -> tuple[tuple[str, float], ...]:
     order, and float summation is order-sensitive at the ULP level —
     sorting first keeps hit and miss cells exactly equal.
     """
+    from ..analysis.iqb import resolve_iqb_config, score_columns
+
     users = world.dasu.users
     if not users:
         return ()
     capacity = np.sort([u.capacity_down_mbps for u in users])
     peak = np.sort([u.demand("peak", False) for u in users])
     utilization = np.sort([u.peak_utilization for u in users])
+    composite = np.sort(
+        score_columns(
+            world.dasu.columns, resolve_iqb_config(iqb_config)
+        ).composite
+    )
     return (
         ("median_capacity_mbps", float(np.median(capacity))),
         ("median_peak_mbps", float(np.median(peak))),
         ("mean_peak_utilization", float(utilization.mean())),
+        ("mean_iqb_score", float(composite.mean())),
     )
 
 
@@ -170,7 +182,9 @@ def _run_cell(task: _CellTask) -> tuple[CellResult, bool]:
     with span(f"sweep/cell/{task.scenario}/seed={task.seed}"):
         for key in task.experiments:
             try:
-                rows = run_experiment(key, world.dasu.users)
+                rows = run_experiment(
+                    key, world.dasu.users, iqb_config=task.iqb_config
+                )
             except AnalysisError:
                 skipped.append(key)
                 count(f"sweep.skipped.{key}")
@@ -187,7 +201,7 @@ def _run_cell(task: _CellTask) -> tuple[CellResult, bool]:
         seed=task.seed,
         n_dasu_users=len(world.dasu.users),
         n_fcc_users=len(world.fcc.users),
-        headline=_headline(world),
+        headline=_headline(world, task.iqb_config),
         verdicts=tuple(verdicts),
         skipped=tuple(skipped),
     )

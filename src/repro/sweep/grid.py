@@ -23,8 +23,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Sequence
 
+from ..analysis.iqb import resolve_iqb_config
 from ..datasets.world import WorldConfig
-from ..exceptions import SweepError
+from ..exceptions import AnalysisError, SweepError
 from ..faults import FAULT_PROFILES, fault_profile
 
 __all__ = ["Scenario", "ScenarioGrid"]
@@ -66,6 +67,11 @@ class Scenario:
     faults: str | None = None
     #: Run the sanitization stage (``None`` = inherit the base config).
     sanitize: bool | None = None
+    #: IQB configuration the cell's ``iqb`` experiment scores with: a
+    #: preset name, an inline config payload, or ``None`` (the default
+    #: barometer config). Validated here, at grid-parse time, not when
+    #: the cell eventually runs.
+    iqb_config: "str | Mapping | None" = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -79,6 +85,17 @@ class Scenario:
                 f"scenario {self.name!r}: unknown fault profile "
                 f"{self.faults!r} (expected one of: {known})"
             )
+        if self.iqb_config is not None:
+            try:
+                resolve_iqb_config(self.iqb_config)
+            except AnalysisError as exc:
+                raise SweepError(
+                    f"scenario {self.name!r}: bad iqb_config: {exc}"
+                ) from None
+            if not isinstance(self.iqb_config, str):
+                object.__setattr__(
+                    self, "iqb_config", dict(self.iqb_config)
+                )
         # Freeze the mapping so scenarios stay hashable-by-value safe.
         object.__setattr__(self, "overrides", dict(self.overrides))
 
@@ -106,13 +123,17 @@ class Scenario:
             payload["faults"] = self.faults
         if self.sanitize is not None:
             payload["sanitize"] = self.sanitize
+        if self.iqb_config is not None:
+            payload["iqb_config"] = self.iqb_config
         return payload
 
     @classmethod
     def from_payload(cls, payload: Mapping) -> "Scenario":
         if not isinstance(payload, Mapping):
             raise SweepError(f"scenario entries must be objects, got {payload!r}")
-        unknown = set(payload) - {"name", "overrides", "faults", "sanitize"}
+        unknown = set(payload) - {
+            "name", "overrides", "faults", "sanitize", "iqb_config"
+        }
         if unknown:
             raise SweepError(
                 f"scenario has unknown keys: {', '.join(sorted(unknown))}"
@@ -126,6 +147,7 @@ class Scenario:
             overrides=dict(payload.get("overrides", {})),
             faults=payload.get("faults"),
             sanitize=payload.get("sanitize"),
+            iqb_config=payload.get("iqb_config"),
         )
 
 
@@ -135,7 +157,8 @@ def _expand_axes(axes: Sequence[Mapping]) -> list[Scenario]:
     Each axis is ``{"field": <WorldConfig field or "faults">,
     "values": [...]}``; the product scenario ``f=a,g=b`` carries one
     override per axis. A ``faults`` axis sets the severity profile
-    instead of an override.
+    instead of an override, and an ``iqb_config`` axis sets the cell's
+    barometer configuration (preset names or inline payloads).
     """
     if not axes:
         return []
@@ -151,29 +174,46 @@ def _expand_axes(axes: Sequence[Mapping]) -> list[Scenario]:
         values = list(axis["values"])
         if not values:
             raise SweepError(f"axis {axis_field!r} has no values")
-        if axis_field != "faults" and axis_field not in _CONFIG_FIELDS:
+        if (
+            axis_field not in ("faults", "iqb_config")
+            and axis_field not in _CONFIG_FIELDS
+        ):
             raise SweepError(
                 f"axis field {axis_field!r} is not a sweepable "
                 "WorldConfig field"
             )
         names.append(axis_field)
         value_lists.append(values)
+
+    def label_of(name: str, value: object) -> str:
+        if name == "iqb_config" and isinstance(value, Mapping):
+            return f"{name}={value.get('name', 'custom')}"
+        return f"{name}={value}"
+
     scenarios = []
     for combo in itertools.product(*value_lists):
         label = ",".join(
-            f"{name}={value}" for name, value in zip(names, combo)
+            label_of(name, value) for name, value in zip(names, combo)
         )
         overrides = {
             name: value
             for name, value in zip(names, combo)
-            if name != "faults"
+            if name not in ("faults", "iqb_config")
         }
         faults = None
+        iqb_config = None
         for name, value in zip(names, combo):
             if name == "faults":
                 faults = str(value)
+            elif name == "iqb_config":
+                iqb_config = value
         scenarios.append(
-            Scenario(name=label, overrides=overrides, faults=faults)
+            Scenario(
+                name=label,
+                overrides=overrides,
+                faults=faults,
+                iqb_config=iqb_config,
+            )
         )
     return scenarios
 

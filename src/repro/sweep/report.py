@@ -154,18 +154,20 @@ def format_sweep_report(sweep: SweepResult) -> str:
     out("per-cell headlines")
     out(
         f"  {'scenario':<28} {'seed':>8} {'users':>7} {'med cap':>9}"
-        f" {'med peak':>9} {'mean util':>10} {'verdicts':>9}"
+        f" {'med peak':>9} {'mean util':>10} {'mean iqb':>9} {'verdicts':>9}"
     )
     for cell in sweep.cells:
         cap = cell.headline_value("median_capacity_mbps")
         peak = cell.headline_value("median_peak_mbps")
         util = cell.headline_value("mean_peak_utilization")
+        iqb = cell.headline_value("mean_iqb_score")
         out(
             f"  {cell.scenario:<28} {cell.seed:>8}"
             f" {cell.n_dasu_users:>7}"
             f" {'-' if cap is None else format(cap, '9.3f')}"
             f" {'-' if peak is None else format(peak, '9.3f')}"
             f" {'-' if util is None else format(util, '10.3f')}"
+            f" {'-' if iqb is None else format(iqb, '9.3f')}"
             f" {cell.n_holds:>4}/{len(cell.verdicts):<4}"
         )
     skips = _skip_summary(sweep)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from ..analysis import capacity, price, quality, upgrade_cost
+from ..analysis import capacity, iqb, price, quality, upgrade_cost
 from ..core.experiments import ExperimentResult
 from ..datasets.records import UserRecord
 from ..exceptions import SweepError
@@ -133,13 +133,27 @@ def _run_table8(users: Sequence[UserRecord]) -> list[VerdictRow]:
     )
 
 
-_RUNNERS: dict[str, Callable[[Sequence[UserRecord]], list[VerdictRow]]] = {
+def _run_iqb(
+    users: Sequence[UserRecord], iqb_config=None
+) -> list[VerdictRow]:
+    result = iqb.iqb_experiment(users, iqb_config)
+    # The row label stays constant across configs — the config identity
+    # lives in the scenario name, so a grid with an iqb_config axis
+    # lines its cells up in one stability-matrix row.
+    return _rows(
+        "iqb",
+        [("top vs bottom tercile", result.experiment.result)],
+    )
+
+
+_RUNNERS: dict[str, Callable[..., list[VerdictRow]]] = {
     "table1": _run_table1,
     "table2": _run_table2,
     "table3": _run_table3,
     "table6": _run_table6,
     "table7": _run_table7,
     "table8": _run_table8,
+    "iqb": _run_iqb,
 }
 
 #: Every sweep-runnable experiment, in the paper's table order.
@@ -147,10 +161,12 @@ SWEEP_EXPERIMENTS: tuple[str, ...] = tuple(_RUNNERS)
 
 
 def run_experiment(
-    key: str, users: Sequence[UserRecord]
+    key: str, users: Sequence[UserRecord], iqb_config=None
 ) -> list[VerdictRow]:
     """Run one registered experiment over a cell's Dasu users.
 
+    ``iqb_config`` (a preset name, config payload, or ``None``) only
+    affects the ``iqb`` experiment — the paper-table runners ignore it.
     Raises :class:`~repro.exceptions.AnalysisError` (bubbled from the
     analysis layer) when the world cannot support the experiment.
     """
@@ -161,4 +177,6 @@ def run_experiment(
         raise SweepError(
             f"unknown sweep experiment {key!r} (expected one of: {known})"
         ) from None
+    if key == "iqb":
+        return runner(users, iqb_config)
     return runner(users)

@@ -113,9 +113,14 @@ class TestReportLedger:
             ledger=ledger,
         )
         names = {s.name for s in ledger.spans}
-        for key in ("fig1", "table1", "fig6", "table7", "fig12"):
+        for key in ("fig1", "table1", "fig6", "table7", "fig12", "iqb"):
             assert f"report/{key}" in names
-        assert ledger.counters["report.fragments.run"] == len(ledger.spans)
+        # Fragments may open nested analysis spans (the iqb fragment
+        # records iqb/* spans), so count only the report/* ones.
+        fragment_spans = sum(
+            1 for s in ledger.spans if s.name.startswith("report/")
+        )
+        assert ledger.counters["report.fragments.run"] == fragment_spans
 
     def test_experiment_counters_recorded(self, small_world):
         ledger = RunLedger()

@@ -114,3 +114,12 @@ def test_assemble_report_requires_every_fragment():
         assemble_report(
             {key: ("", None) for key in fragment_keys()}, n_dasu=0
         )
+
+
+def test_iqb_fragment_follows_dasu_and_fcc():
+    """The barometer fragment re-keys on household data — an append must
+    recompute it (covered exactly by the executed/cached set assertion
+    in test_append_recomputes_only_changed_fragments) rather than
+    reload a stale market table."""
+    assert "iqb" in fragment_keys()
+    assert fragment_inputs("iqb") == ("dasu", "fcc")

@@ -215,3 +215,27 @@ def test_restart_replays_chain_and_reloads_fragments(daemon, tmp_path_factory):
     assert snapshot.config == tip
     assert snapshot.report_text.encode("utf-8") == expected_report(cache, tip)
     assert not [s for s in snapshot.executed if s.startswith("fragment/")]
+
+
+def test_iqb_matches_cold_payload(daemon, client):
+    """/iqb.json is byte-identical to iqb_payload on the chain's tip."""
+    from repro.analysis.iqb import iqb_payload
+
+    _, service, cache, _ = daemon
+    status, headers, body = client.get("/iqb.json")
+    assert status == 200
+    assert headers.get("ETag")
+    world = cache.load(service.log.tip_config())
+    expected = (
+        json.dumps(
+            iqb_payload(world.dasu.users, world.fcc.users),
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    assert body == expected.encode("utf-8")
+    status, _, stale = client.get(
+        "/iqb.json", {"If-None-Match": headers["ETag"]}
+    )
+    assert status == 304 and stale == b""

@@ -47,8 +47,10 @@ class TestRunSweep:
                 "median_capacity_mbps",
                 "median_peak_mbps",
                 "mean_peak_utilization",
+                "mean_iqb_score",
             ]
             assert cell.headline_value("median_capacity_mbps") > 0
+            assert 0.0 <= cell.headline_value("mean_iqb_score") <= 1.0
             assert cell.headline_value("no_such_statistic") is None
 
     def test_rerun_is_equal_and_fully_cached(self, small_sweep):

@@ -35,6 +35,7 @@ TABLE8_HIGH_LOSS_ROWS = (
     "(1%, 15%] vs (0.01%, 0.1%]",
 )
 TABLE3_ROW = "($0, $25] vs ($25, $60]"
+IQB_ROW = "top vs bottom tercile"
 
 
 def _rows(sweep, scenario, experiment, row):
@@ -226,3 +227,48 @@ class TestLightFaultsAreSanitizedAway:
         faulted = headlines(metamorphic_sweep, "faulted", "mean_peak_utilization")
         for b, f in zip(base, faulted):
             assert f == pytest.approx(b, abs=0.01)
+
+
+class TestQualitySuppressionDrivesIqbVerdict:
+    """The IQB composite folds latency and loss into a use-case score;
+    quality suppression is the only mechanism through which those
+    metrics move demand. Turning it off must collapse the IQB-vs-demand
+    verdict to chance, while knobs that act through capacity alone
+    (growth, supply constraints, light faults) shift measured *scores*
+    at most — the within-capacity-class verdict stays in the baseline
+    band."""
+
+    def test_baseline_signal_exists(self, metamorphic_sweep):
+        # Sanity anchor: with suppression on, higher composite scores
+        # predict demand in every baseline cell at this fixture size.
+        base = pooled(metamorphic_sweep, "baseline", "iqb", IQB_ROW)
+        assert base - 0.5 > 0.05, base
+        verdicts = _rows(metamorphic_sweep, "baseline", "iqb", IQB_ROW)
+        assert all(v.rejects_null for v in verdicts)
+
+    def test_quality_off_collapses_toward_chance(self, metamorphic_sweep):
+        base = pooled(metamorphic_sweep, "baseline", "iqb", IQB_ROW)
+        off = pooled(metamorphic_sweep, "quality-off", "iqb", IQB_ROW)
+        assert off < base - 0.08, (base, off)
+        assert abs(off - 0.5) < 0.07, off
+
+    def test_quality_off_verdicts_flip_off(self, metamorphic_sweep):
+        verdicts = _rows(metamorphic_sweep, "quality-off", "iqb", IQB_ROW)
+        assert not any(v.rejects_null for v in verdicts)
+
+    def test_capacity_only_knobs_stay_in_band(self, metamorphic_sweep):
+        for scenario in ("growth-off", "constrained", "faulted"):
+            assert_in_band(metamorphic_sweep, scenario, "iqb", IQB_ROW)
+
+    def test_scores_track_capacity_not_suppression(self, metamorphic_sweep):
+        # Supply constraints cap attainable capacity, dragging measured
+        # composites down; removing quality suppression changes demand,
+        # not measurements, so scores barely move.
+        base = headlines(metamorphic_sweep, "baseline", "mean_iqb_score")
+        constrained = headlines(
+            metamorphic_sweep, "constrained", "mean_iqb_score"
+        )
+        off = headlines(metamorphic_sweep, "quality-off", "mean_iqb_score")
+        for b, c, o in zip(base, constrained, off):
+            assert c < b - 0.02, (b, c)
+            assert abs(o - b) < 0.01, (b, o)

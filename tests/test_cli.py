@@ -366,3 +366,99 @@ class TestColumnarDataDir:
         assert rc == 0
         columns = read_users_npy(out / "users.npy")
         assert columns.n_rows > 0
+
+
+class TestIqb:
+    """`repro iqb`: the barometer command's artifacts are byte-stable
+    across worker counts and cache states (the jobs-invariance contract
+    every other artifact-producing subcommand already honors)."""
+
+    ARGS = [
+        "--users", "120", "--fcc", "20", "--days", "1.0", "--seed", "9",
+    ]
+
+    def _run(self, out, *extra):
+        return main(
+            ["iqb", "--out", str(out), "--trace"] + self.ARGS + list(extra)
+        )
+
+    def test_report_to_stdout(self, data_dir, capsys):
+        rc = main(["iqb", "--data", str(data_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Internet quality barometer (config 'default')" in out
+        assert "IQB vs demand" in out
+
+    def test_artifacts_byte_identical_across_jobs(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert self._run(tmp_path / "j1", "--jobs", "1", *cache) == 0
+        assert self._run(tmp_path / "j4", "--jobs", "4", *cache) == 0
+        for name in ("iqb.txt", "iqb.json", "trace.jsonl"):
+            assert (
+                (tmp_path / "j1" / name).read_bytes()
+                == (tmp_path / "j4" / name).read_bytes()
+            ), name
+        assert "barometer written" in capsys.readouterr().out
+
+    def test_cold_and_warm_cache_identical(self, tmp_path):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert self._run(tmp_path / "cold", *cache) == 0
+        assert self._run(tmp_path / "warm", *cache) == 0
+        for name in ("iqb.txt", "iqb.json", "trace.jsonl"):
+            assert (
+                (tmp_path / "cold" / name).read_bytes()
+                == (tmp_path / "warm" / name).read_bytes()
+            ), name
+
+    def test_payload_parses_and_names_config(self, tmp_path):
+        import json
+
+        assert self._run(tmp_path / "w", "--no-cache") == 0
+        payload = json.loads((tmp_path / "w" / "iqb.json").read_text())
+        assert payload["config"]["name"] == "default"
+        assert payload["dasu"]["n_users"] > 0
+        assert "experiment" in payload
+        manifest = json.loads((tmp_path / "w" / "manifest.json").read_text())
+        assert manifest["command"] == "iqb"
+        assert manifest["iqb_config"]["name"] == "default"
+
+    def test_config_file_and_preset(self, data_dir, tmp_path, capsys):
+        import json
+
+        from repro.analysis.iqb import IQB_PRESETS
+
+        rc = main(["iqb", "--data", str(data_dir), "--config", "streaming"])
+        assert rc == 0
+        assert "config 'streaming'" in capsys.readouterr().out
+        path = tmp_path / "custom.json"
+        path.write_text(
+            json.dumps(IQB_PRESETS["streaming"].to_payload())
+        )
+        rc = main(["iqb", "--data", str(data_dir), "--config", str(path)])
+        assert rc == 0
+        assert "config 'streaming'" in capsys.readouterr().out
+
+    def test_invalid_config_file_fails_cleanly(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.json"
+        payload = {
+            "name": "bad",
+            "use_cases": {
+                "web": {
+                    "requirements": {
+                        "latency_ms": {"weight": -1, "max": 100}
+                    }
+                }
+            },
+        }
+        path.write_text(json.dumps(payload))
+        rc = main(["iqb", "--config", str(path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "'web'" in err and "'latency_ms'" in err
+
+    def test_trace_requires_out(self, data_dir, capsys):
+        rc = main(["iqb", "--data", str(data_dir), "--trace"])
+        assert rc == 2
+        assert "--out" in capsys.readouterr().err
